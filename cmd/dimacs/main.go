@@ -1,0 +1,98 @@
+// Command dimacs is a standalone CDCL SAT solver for DIMACS CNF files, built
+// on the library's solver package.  It prints the conventional "s
+// SATISFIABLE / s UNSATISFIABLE" result line, optionally the model, and the
+// search statistics.
+//
+// Usage:
+//
+//	dimacs [flags] [file.cnf]
+//
+// With no file argument the formula is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+func main() {
+	var (
+		maxConflicts = flag.Uint64("max-conflicts", 0, "stop after this many conflicts (0 = unlimited)")
+		maxTime      = flag.Duration("max-time", 0, "stop after this wall-clock duration (0 = unlimited)")
+		printModel   = flag.Bool("model", true, "print the satisfying assignment")
+		verify       = flag.Bool("verify", true, "verify the model against the formula before printing")
+		quiet        = flag.Bool("quiet", false, "suppress statistics")
+	)
+	flag.Parse()
+
+	var (
+		formula *cnf.Formula
+		err     error
+	)
+	switch flag.NArg() {
+	case 0:
+		formula, err = cnf.ParseDIMACS(os.Stdin)
+	case 1:
+		formula, err = cnf.ParseDIMACSFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dimacs [flags] [file.cnf]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dimacs: %v\n", err)
+		os.Exit(2)
+	}
+
+	s := solver.NewDefault(formula)
+	s.SetBudget(solver.Budget{MaxConflicts: *maxConflicts, MaxTime: *maxTime})
+	start := time.Now()
+	res := s.Solve()
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		fmt.Printf("c variables    %d\n", formula.NumVars)
+		fmt.Printf("c clauses      %d\n", formula.NumClauses())
+		fmt.Printf("c conflicts    %d\n", res.Stats.Conflicts)
+		fmt.Printf("c decisions    %d\n", res.Stats.Decisions)
+		fmt.Printf("c propagations %d\n", res.Stats.Propagations)
+		fmt.Printf("c restarts     %d\n", res.Stats.Restarts)
+		fmt.Printf("c learned      %d\n", res.Stats.Learned)
+		fmt.Printf("c time         %v\n", elapsed)
+	}
+
+	switch res.Status {
+	case solver.Sat:
+		if *verify && !formula.IsSatisfiedBy(res.Model) {
+			fmt.Fprintln(os.Stderr, "dimacs: internal error: reported model does not satisfy the formula")
+			os.Exit(1)
+		}
+		fmt.Println("s SATISFIABLE")
+		if *printModel {
+			printAssignment(res.Model, formula.NumVars)
+		}
+		os.Exit(10)
+	case solver.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(0)
+	}
+}
+
+func printAssignment(model cnf.Assignment, numVars int) {
+	fmt.Print("v")
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		lit := int(v)
+		if model.Value(v) != cnf.True {
+			lit = -lit
+		}
+		fmt.Printf(" %d", lit)
+	}
+	fmt.Println(" 0")
+}

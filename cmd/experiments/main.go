@@ -1,0 +1,95 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on scaled-down instances (see DESIGN.md for the
+// scaling substitutions and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table1
+//	experiments -exp all -scale quick
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/expts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scaleName = flag.String("scale", "default", "experiment scale: quick, default or paper")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-15s %-22s %s\n", "ID", "PAPER ARTEFACT", "DESCRIPTION")
+		for _, e := range expts.Experiments() {
+			fmt.Printf("%-15s %-22s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return nil
+	}
+
+	var scale expts.Scale
+	switch *scaleName {
+	case "quick":
+		scale = expts.QuickScale()
+	case "default", "laptop":
+		scale = expts.DefaultScale()
+	case "paper":
+		scale = expts.PaperScale()
+		fmt.Fprintln(os.Stderr, "warning: the paper scale reproduces the original cluster-sized experiments and will not finish on a workstation")
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer func() { stop(); cancel() }()
+
+	var selected []expts.Experiment
+	if *expID == "all" {
+		selected = expts.Experiments()
+	} else {
+		e, err := expts.FindExperiment(*expID)
+		if err != nil {
+			return err
+		}
+		selected = []expts.Experiment{e}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("### %s (%s) — scale %q\n\n", e.ID, e.Paper, scale.Name)
+		start := time.Now()
+		tables, err := e.Run(ctx, scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

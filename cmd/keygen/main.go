@@ -1,0 +1,68 @@
+// Command keygen generates cryptanalysis SAT instances for the A5/1, Bivium
+// and Grain keystream generators: it draws a random secret state, produces a
+// keystream with the reference implementation, encodes the generator circuit
+// with the Tseitin transformation and writes the resulting DIMACS CNF (the
+// Transalg-equivalent step of the paper).
+//
+// Usage:
+//
+//	keygen -generator bivium -keystream 200 -known 0 -seed 1 -o bivium.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/crypto"
+	"repro/internal/encoder"
+)
+
+func main() {
+	var (
+		generator = flag.String("generator", "bivium", "keystream generator: a5/1, bivium or grain")
+		keystream = flag.Int("keystream", 0, "observed keystream length (0 = the paper's default)")
+		known     = flag.Int("known", 0, "number of trailing state bits fixed to their secret values (the BiviumK/GrainK weakening)")
+		seed      = flag.Int64("seed", 1, "random seed for the secret state")
+		output    = flag.String("o", "", "output DIMACS file (default: stdout)")
+		secret    = flag.Bool("print-secret", false, "print the secret state and keystream to stderr")
+	)
+	flag.Parse()
+
+	gen, err := encoder.ByName(*generator)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "keygen: %v\n", err)
+		os.Exit(2)
+	}
+	inst, err := encoder.NewInstance(gen, encoder.Config{
+		KeystreamLen: *keystream,
+		KnownSuffix:  *known,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "keygen: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *secret {
+		fmt.Fprintf(os.Stderr, "c instance  %s\n", inst.Name)
+		fmt.Fprintf(os.Stderr, "c secret    %s\n", crypto.BitsToString(inst.Secret))
+		fmt.Fprintf(os.Stderr, "c keystream %s\n", crypto.BitsToString(inst.Keystream))
+		fmt.Fprintf(os.Stderr, "c start variables 1..%d (unknown: first %d)\n",
+			len(inst.StartVars), len(inst.UnknownStartVars()))
+	}
+
+	if *output == "" {
+		if err := inst.CNF.WriteDIMACS(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "keygen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := inst.CNF.WriteDIMACSFile(*output); err != nil {
+		fmt.Fprintf(os.Stderr, "keygen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d variables, %d clauses (%d start variables, %d known)\n",
+		*output, inst.CNF.NumVars, inst.CNF.NumClauses(), len(inst.StartVars), inst.KnownSuffix)
+}

@@ -1,0 +1,258 @@
+// Command pdsat reproduces the modes of the MPI program PDSAT used in the
+// paper, on top of the library's goroutine-based leader/worker runner:
+//
+//	-mode estimate   compute the predictive function F for a decomposition set
+//	-mode search     minimize F with simulated annealing or tabu search
+//	-mode solve      process the whole decomposition family (key recovery)
+//
+// The SAT instance is either generated on the fly from one of the three
+// keystream generators (-generator, -known, -keystream, -seed) or read from
+// a DIMACS file (-cnf) together with an explicit start set (-start).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/optimize"
+	"repro/internal/pdsat"
+	"repro/internal/solver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pdsat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mode      = flag.String("mode", "estimate", "estimate, search or solve")
+		generator = flag.String("generator", "a5/1", "keystream generator: a5/1, bivium or grain (ignored with -cnf)")
+		keystream = flag.Int("keystream", 0, "keystream length (0 = paper default)")
+		known     = flag.Int("known", 0, "number of trailing state bits fixed to their secret values")
+		seed      = flag.Int64("seed", 1, "random seed (instance secret, samples and search)")
+		cnfPath   = flag.String("cnf", "", "solve a DIMACS file instead of a generated instance")
+		startList = flag.String("start", "", "comma-separated start-set variables (required with -cnf)")
+		setList   = flag.String("set", "", "explicit decomposition set (comma-separated variables); default: the start set")
+		method    = flag.String("method", "tabu", "search method: sa or tabu")
+		samples   = flag.Int("samples", 200, "Monte Carlo sample size N")
+		evals     = flag.Int("evaluations", 50, "maximum predictive-function evaluations during search")
+		workers   = flag.Int("workers", 0, "computing processes (0 = all CPUs)")
+		cores     = flag.Int("cores", 480, "core count for extrapolated predictions")
+		metric    = flag.String("cost", "propagations", "cost metric: conflicts, propagations, decisions or seconds")
+		budget    = flag.Uint64("subproblem-conflicts", 0, "conflict budget per sampled subproblem (0 = unlimited)")
+		stopOnSat = flag.Bool("stop-on-sat", true, "in solve mode, stop at the first satisfiable subproblem")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
+	)
+	flag.Parse()
+
+	costMetric, err := parseMetric(*metric)
+	if err != nil {
+		return err
+	}
+
+	problem, err := buildProblem(*cnfPath, *startList, *generator, *keystream, *known, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Runner: pdsat.Config{
+			SampleSize:       *samples,
+			Workers:          *workers,
+			Seed:             *seed,
+			CostMetric:       costMetric,
+			SolverOptions:    solver.DefaultOptions(),
+			SubproblemBudget: solver.Budget{MaxConflicts: *budget},
+		},
+		Search: optimize.Options{Seed: *seed, MaxEvaluations: *evals},
+		Cores:  *cores,
+	}
+	engine, err := core.NewEngine(problem, cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signalContext(*timeout)
+	defer cancel()
+
+	vars := problem.StartSet
+	if *setList != "" {
+		vars, err = parseVars(*setList)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("instance %s: %d variables, %d clauses, start set of %d variables\n",
+		problem.Name, problem.Formula.NumVars, problem.Formula.NumClauses(), len(problem.StartSet))
+
+	switch *mode {
+	case "estimate":
+		return runEstimate(ctx, engine, vars, costMetric)
+	case "search":
+		return runSearch(ctx, engine, *method, costMetric)
+	case "solve":
+		return runSolve(ctx, engine, vars, *stopOnSat, costMetric)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func buildProblem(cnfPath, startList, generator string, keystream, known int, seed int64) (*core.Problem, error) {
+	if cnfPath != "" {
+		f, err := cnf.ParseDIMACSFile(cnfPath)
+		if err != nil {
+			return nil, err
+		}
+		if startList == "" {
+			return nil, fmt.Errorf("-start is required with -cnf")
+		}
+		start, err := parseVars(startList)
+		if err != nil {
+			return nil, err
+		}
+		return core.FromFormula(cnfPath, f, start), nil
+	}
+	gen, err := encoder.ByName(generator)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := encoder.NewInstance(gen, encoder.Config{
+		KeystreamLen: keystream,
+		KnownSuffix:  known,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.FromInstance(inst), nil
+}
+
+func runEstimate(ctx context.Context, engine *core.Engine, vars []cnf.Var, metric solver.CostMetric) error {
+	est, err := engine.EstimateSet(ctx, vars)
+	if err != nil {
+		return err
+	}
+	printEstimate("predictive function", est, metric)
+	return nil
+}
+
+func runSearch(ctx context.Context, engine *core.Engine, method string, metric solver.CostMetric) error {
+	start := time.Now()
+	outcome, err := engine.SearchFrom(ctx, method, engine.Space().FullPoint())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search method       %s\n", outcome.Method)
+	fmt.Printf("points evaluated    %d\n", outcome.Result.Evaluations)
+	fmt.Printf("stop reason         %s\n", outcome.Result.Stop)
+	fmt.Printf("search wall time    %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("best |set|          %d\n", outcome.Result.BestPoint.Count())
+	fmt.Printf("best set            %s\n", varsString(outcome.Result.BestPoint.SortedVars()))
+	if outcome.Best != nil {
+		printEstimate("best-set estimate", outcome.Best, metric)
+	}
+	return nil
+}
+
+func runSolve(ctx context.Context, engine *core.Engine, vars []cnf.Var, stopOnSat bool, metric solver.CostMetric) error {
+	report, err := engine.SolveWithSet(ctx, vars, pdsat.SolveOptions{StopOnSat: stopOnSat})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("subproblems solved  %d\n", report.Processed)
+	fmt.Printf("total cost          %.6g %s\n", report.TotalCost, metric)
+	fmt.Printf("cost to first SAT   %.6g %s\n", report.CostToFirstSat, metric)
+	fmt.Printf("wall time           %v\n", report.WallTime.Round(time.Millisecond))
+	if report.FoundSat {
+		fmt.Printf("satisfiable subproblem found at index %d\n", report.SatIndex)
+		if inst := engine.Problem().Instance; inst != nil {
+			gen, err := encoder.ByName(inst.Generator)
+			if err == nil {
+				ok, err := inst.CheckRecoveredState(gen, report.Model)
+				fmt.Printf("recovered state reproduces keystream: %v (err=%v)\n", ok, err)
+			}
+		}
+	} else {
+		fmt.Println("no satisfiable subproblem found")
+	}
+	return nil
+}
+
+func printEstimate(label string, est *core.SetEstimate, metric solver.CostMetric) {
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  |set|              %d\n", len(est.Vars))
+	fmt.Printf("  sample size N      %d\n", est.Estimate.SampleSize)
+	fmt.Printf("  mean subproblem    %.6g %s\n", est.Estimate.Mean, metric)
+	fmt.Printf("  F (1 core)         %.6e %s\n", est.Estimate.Value, metric)
+	fmt.Printf("  F (%d cores)      %.6e %s\n", est.Cores, est.PerCores, metric)
+	fmt.Printf("  SAT in sample      %d of %d\n", est.SatisfiableSamples, est.Estimate.SampleSize)
+	fmt.Printf("  estimation time    %v\n", est.WallTime.Round(time.Millisecond))
+}
+
+func parseMetric(s string) (solver.CostMetric, error) {
+	switch s {
+	case "conflicts":
+		return solver.CostConflicts, nil
+	case "propagations":
+		return solver.CostPropagations, nil
+	case "decisions":
+		return solver.CostDecisions, nil
+	case "seconds", "time":
+		return solver.CostWallTime, nil
+	default:
+		return 0, fmt.Errorf("unknown cost metric %q", s)
+	}
+}
+
+func parseVars(list string) ([]cnf.Var, error) {
+	var out []cnf.Var
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad variable %q", part)
+		}
+		out = append(out, cnf.Var(n))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty variable list")
+	}
+	return out, nil
+}
+
+func varsString(vars []cnf.Var) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+// signalContext returns a context cancelled by SIGINT/SIGTERM and optionally
+// by a timeout.
+func signalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	return ctx, func() { stop(); cancel() }
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	A. Semenov, O. Zaikin — "Using Monte Carlo Method for Searching
+//	Partitionings of Hard Variants of Boolean Satisfiability Problem"
+//	(PaCT 2015, arXiv:1507.00862).
+//
+// The library lives in internal/ packages (cnf, solver, circuit, crypto,
+// encoder, decomp, montecarlo, optimize, pdsat, core, expts); the
+// command-line tools live in cmd/ and runnable examples in examples/.  See
+// README.md for a tour, DESIGN.md for the system inventory and scaling
+// substitutions, and EXPERIMENTS.md for the reproduced tables and figures.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section at a laptop-friendly scale:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,197 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// Encoding is the result of the Tseitin transformation of a circuit.
+type Encoding struct {
+	// CNF is the transformed formula.  Satisfying assignments restricted to
+	// InputVars are exactly the circuit inputs; the values of OutputVars
+	// equal the circuit outputs on those inputs.
+	CNF *cnf.Formula
+	// GateVars maps each gate ID to its CNF variable.
+	GateVars []cnf.Var
+	// InputVars are the variables of the primary inputs, in input order.
+	// They always occupy variables 1..NumInputs, which makes them directly
+	// usable as the Strong Unit-Propagation Backdoor Set (the X̃_start of
+	// the paper).
+	InputVars []cnf.Var
+	// OutputVars are the variables of the outputs, in output order.
+	OutputVars []cnf.Var
+}
+
+// Encode performs the Tseitin transformation of the circuit.  Input gates
+// are assigned variables 1..NumInputs in input order; every other
+// non-trivial gate gets a fresh variable.
+func (c *Circuit) Encode() (*Encoding, error) {
+	enc := &Encoding{
+		CNF:      cnf.New(0),
+		GateVars: make([]cnf.Var, len(c.gates)),
+	}
+	next := cnf.Var(1)
+	newVar := func() cnf.Var {
+		v := next
+		next++
+		return v
+	}
+	// Inputs first so they occupy 1..NumInputs.
+	for _, id := range c.inputs {
+		v := newVar()
+		enc.GateVars[id] = v
+		enc.InputVars = append(enc.InputVars, v)
+	}
+	// trueVar is lazily created when a constant gate needs a variable.
+	var trueVar cnf.Var
+	getTrueVar := func() cnf.Var {
+		if trueVar == 0 {
+			trueVar = newVar()
+			enc.CNF.AddClause(cnf.Clause{cnf.NewLit(trueVar, true)})
+		}
+		return trueVar
+	}
+
+	lit := func(id GateID) cnf.Lit { return cnf.NewLit(enc.GateVars[id], true) }
+
+	for id := range c.gates {
+		g := &c.gates[id]
+		switch g.Type {
+		case GateInput:
+			// already assigned
+		case GateConst:
+			tv := getTrueVar()
+			if g.Const {
+				enc.GateVars[id] = tv
+			} else {
+				// Represent false as a variable forced to false.
+				v := newVar()
+				enc.GateVars[id] = v
+				enc.CNF.AddClause(cnf.Clause{cnf.NewLit(v, false)})
+			}
+		case GateNot:
+			// Reuse the operand variable with opposite polarity is not
+			// possible in this representation (GateVars holds variables, not
+			// literals), so introduce y ↔ ¬a.
+			y := newVar()
+			enc.GateVars[id] = y
+			a := lit(g.In[0])
+			enc.CNF.AddClause(cnf.Clause{cnf.NewLit(y, false), a.Neg()})
+			enc.CNF.AddClause(cnf.Clause{cnf.NewLit(y, true), a})
+		case GateAnd:
+			y := newVar()
+			enc.GateVars[id] = y
+			yl := cnf.NewLit(y, true)
+			long := make(cnf.Clause, 0, len(g.In)+1)
+			long = append(long, yl)
+			for _, in := range g.In {
+				a := lit(in)
+				enc.CNF.AddClause(cnf.Clause{yl.Neg(), a})
+				long = append(long, a.Neg())
+			}
+			enc.CNF.AddClause(long)
+		case GateOr:
+			y := newVar()
+			enc.GateVars[id] = y
+			yl := cnf.NewLit(y, true)
+			long := make(cnf.Clause, 0, len(g.In)+1)
+			long = append(long, yl.Neg())
+			for _, in := range g.In {
+				a := lit(in)
+				enc.CNF.AddClause(cnf.Clause{yl, a.Neg()})
+				long = append(long, a)
+			}
+			enc.CNF.AddClause(long)
+		case GateXor:
+			// Encode n-ary XOR as a chain of binary XORs.
+			if len(g.In) == 0 {
+				return nil, fmt.Errorf("circuit: empty xor gate %d", id)
+			}
+			cur := enc.GateVars[g.In[0]]
+			for k := 1; k < len(g.In); k++ {
+				b := enc.GateVars[g.In[k]]
+				y := newVar()
+				addXor2(enc.CNF, y, cur, b)
+				cur = y
+			}
+			enc.GateVars[id] = cur
+		case GateMaj:
+			y := newVar()
+			enc.GateVars[id] = y
+			a, b, d := lit(g.In[0]), lit(g.In[1]), lit(g.In[2])
+			yl := cnf.NewLit(y, true)
+			// y ↔ at-least-two-of(a,b,d)
+			enc.CNF.AddClause(cnf.Clause{yl.Neg(), a, b})
+			enc.CNF.AddClause(cnf.Clause{yl.Neg(), a, d})
+			enc.CNF.AddClause(cnf.Clause{yl.Neg(), b, d})
+			enc.CNF.AddClause(cnf.Clause{yl, a.Neg(), b.Neg()})
+			enc.CNF.AddClause(cnf.Clause{yl, a.Neg(), d.Neg()})
+			enc.CNF.AddClause(cnf.Clause{yl, b.Neg(), d.Neg()})
+		case GateMux:
+			y := newVar()
+			enc.GateVars[id] = y
+			s, a, b := lit(g.In[0]), lit(g.In[1]), lit(g.In[2])
+			yl := cnf.NewLit(y, true)
+			// y ↔ (s ? a : b)
+			enc.CNF.AddClause(cnf.Clause{s.Neg(), a.Neg(), yl})
+			enc.CNF.AddClause(cnf.Clause{s.Neg(), a, yl.Neg()})
+			enc.CNF.AddClause(cnf.Clause{s, b.Neg(), yl})
+			enc.CNF.AddClause(cnf.Clause{s, b, yl.Neg()})
+			// Redundant but propagation-helpful: if a and b agree, y agrees.
+			enc.CNF.AddClause(cnf.Clause{a.Neg(), b.Neg(), yl})
+			enc.CNF.AddClause(cnf.Clause{a, b, yl.Neg()})
+		default:
+			return nil, fmt.Errorf("circuit: cannot encode gate type %v", g.Type)
+		}
+	}
+	if enc.CNF.NumVars < int(next-1) {
+		enc.CNF.NumVars = int(next - 1)
+	}
+	for _, id := range c.outputs {
+		enc.OutputVars = append(enc.OutputVars, enc.GateVars[id])
+	}
+	return enc, nil
+}
+
+// addXor2 adds clauses for y ↔ a ⊕ b.
+func addXor2(f *cnf.Formula, y, a, b cnf.Var) {
+	yl := cnf.NewLit(y, true)
+	al := cnf.NewLit(a, true)
+	bl := cnf.NewLit(b, true)
+	f.AddClause(cnf.Clause{yl.Neg(), al, bl})
+	f.AddClause(cnf.Clause{yl.Neg(), al.Neg(), bl.Neg()})
+	f.AddClause(cnf.Clause{yl, al.Neg(), bl})
+	f.AddClause(cnf.Clause{yl, al, bl.Neg()})
+}
+
+// ConstrainOutputs appends unit clauses to the encoding's CNF forcing the
+// circuit outputs to the given values.  This is how an observed keystream is
+// injected into a cryptanalysis instance.
+func (e *Encoding) ConstrainOutputs(values []bool) error {
+	if len(values) != len(e.OutputVars) {
+		return fmt.Errorf("circuit: got %d output values, want %d", len(values), len(e.OutputVars))
+	}
+	for i, v := range e.OutputVars {
+		e.CNF.AddClause(cnf.Clause{cnf.NewLit(v, values[i])})
+	}
+	return nil
+}
+
+// InputAssignment converts input values into a cnf.Assignment over the
+// encoding's input variables (useful in tests to check a known secret
+// satisfies the instance).
+func (e *Encoding) InputAssignment(inputs []bool) (cnf.Assignment, error) {
+	if len(inputs) != len(e.InputVars) {
+		return nil, fmt.Errorf("circuit: got %d inputs, want %d", len(inputs), len(e.InputVars))
+	}
+	a := cnf.NewAssignment(e.CNF.NumVars)
+	for i, v := range e.InputVars {
+		if inputs[i] {
+			a.Set(v, cnf.True)
+		} else {
+			a.Set(v, cnf.False)
+		}
+	}
+	return a, nil
+}

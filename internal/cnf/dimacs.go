@@ -1,0 +1,133 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format from r.
+//
+// The parser is tolerant: the problem line ("p cnf <vars> <clauses>") is
+// optional, comment lines ("c ...") are preserved in Comments, clauses may
+// span multiple lines and are terminated by 0.  A trailing clause without a
+// terminating 0 is accepted at end of input.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var current Clause
+	declaredVars := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'c':
+			f.Comments = append(f.Comments, strings.TrimPrefix(strings.TrimPrefix(line, "c"), " "))
+			continue
+		case 'p':
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", lineNo, err)
+			}
+			declaredVars = v
+			continue
+		case '%':
+			// Some benchmark files end with "%\n0"; stop parsing.
+			goto done
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q: %v", lineNo, tok, err)
+			}
+			if n == 0 {
+				f.AddClause(current)
+				current = nil
+				continue
+			}
+			current = append(current, Lit(n))
+		}
+	}
+done:
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(current) > 0 {
+		f.AddClause(current)
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	return f, nil
+}
+
+// ParseDIMACSString parses a DIMACS formula from a string.
+func ParseDIMACSString(s string) (*Formula, error) {
+	return ParseDIMACS(strings.NewReader(s))
+}
+
+// ParseDIMACSFile parses a DIMACS formula from a file.
+func ParseDIMACSFile(path string) (*Formula, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return ParseDIMACS(fd)
+}
+
+// WriteDIMACS writes the formula in DIMACS format to w.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range f.Comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DIMACSString renders the formula as a DIMACS string.
+func (f *Formula) DIMACSString() string {
+	var sb strings.Builder
+	_ = f.WriteDIMACS(&sb)
+	return sb.String()
+}
+
+// WriteDIMACSFile writes the formula to a file, creating or truncating it.
+func (f *Formula) WriteDIMACSFile(path string) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteDIMACS(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}

@@ -1,0 +1,309 @@
+// Package core is the public façade of the library: it ties the SAT
+// substrate (cnf, solver), the cryptanalysis encodings (encoder), the
+// decomposition machinery (decomp), the Monte Carlo estimator (montecarlo),
+// the metaheuristic minimizers (optimize) and the parallel runner (pdsat)
+// into the workflow of the paper:
+//
+//  1. build a SAT instance together with its starting decomposition set
+//     (Problem),
+//  2. estimate the effectiveness of a given partitioning via the predictive
+//     function (Engine.EstimateSet),
+//  3. search for a good partitioning with simulated annealing or tabu
+//     search (Engine.SearchSimulatedAnnealing / Engine.SearchTabu), and
+//  4. solve the instance by processing the decomposition family, comparing
+//     the measured cost with the prediction (Engine.SolveWithSet,
+//     Engine.PredictAndSolve).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/decomp"
+	"repro/internal/encoder"
+	"repro/internal/montecarlo"
+	"repro/internal/optimize"
+	"repro/internal/pdsat"
+)
+
+// Problem is a SAT instance plus the starting decomposition set from which
+// partitionings are searched.
+type Problem struct {
+	// Name identifies the problem in reports.
+	Name string
+	// Formula is the CNF to be partitioned.
+	Formula *cnf.Formula
+	// StartSet is X̃_start, the initial decomposition set (for cryptanalysis
+	// instances: the unknown circuit-input variables, a Strong
+	// Unit-Propagation Backdoor Set).
+	StartSet []cnf.Var
+	// Instance optionally carries the cryptanalysis metadata (secret,
+	// keystream) enabling end-to-end key checks.
+	Instance *encoder.Instance
+}
+
+// FromInstance wraps a cryptanalysis instance as a Problem; the start set is
+// the instance's unknown start variables.
+func FromInstance(inst *encoder.Instance) *Problem {
+	return &Problem{
+		Name:     inst.Name,
+		Formula:  inst.CNF,
+		StartSet: inst.UnknownStartVars(),
+		Instance: inst,
+	}
+}
+
+// FromFormula wraps an arbitrary CNF and starting set as a Problem.
+func FromFormula(name string, f *cnf.Formula, start []cnf.Var) *Problem {
+	return &Problem{Name: name, Formula: f, StartSet: append([]cnf.Var(nil), start...)}
+}
+
+// Space returns the search space over the problem's start set.
+func (p *Problem) Space() *decomp.Space { return decomp.NewSpace(p.StartSet) }
+
+// Config configures an Engine.
+type Config struct {
+	// Runner configures the PDSAT-style leader/worker runner (sample size,
+	// workers, cost metric, solver options).
+	Runner pdsat.Config
+	// Search configures the metaheuristic minimizers.
+	Search optimize.Options
+	// Cores is the number of cores used when extrapolating 1-core
+	// predictions in reports (480 in the paper's Table 3).
+	Cores int
+}
+
+// DefaultConfig returns a configuration suitable for the scaled-down
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Runner: pdsat.DefaultConfig(),
+		Search: optimize.DefaultOptions(),
+		Cores:  480,
+	}
+}
+
+// Engine runs estimations, searches and partitioned solving for one Problem.
+type Engine struct {
+	problem *Problem
+	runner  *pdsat.Runner
+	cfg     Config
+	space   *decomp.Space
+}
+
+// NewEngine creates an engine for the problem.
+func NewEngine(p *Problem, cfg Config) (*Engine, error) {
+	if p == nil || p.Formula == nil {
+		return nil, errors.New("core: nil problem")
+	}
+	if len(p.StartSet) == 0 {
+		return nil, errors.New("core: empty starting decomposition set")
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = DefaultConfig().Cores
+	}
+	return &Engine{
+		problem: p,
+		runner:  pdsat.NewRunner(p.Formula, cfg.Runner),
+		cfg:     cfg,
+		space:   decomp.NewSpace(p.StartSet),
+	}, nil
+}
+
+// Problem returns the engine's problem.
+func (e *Engine) Problem() *Problem { return e.problem }
+
+// Space returns the engine's search space.
+func (e *Engine) Space() *decomp.Space { return e.space }
+
+// Runner exposes the underlying PDSAT runner (e.g. for its statistics).
+func (e *Engine) Runner() *pdsat.Runner { return e.runner }
+
+// SetEstimate describes the predicted cost of processing the partitioning
+// induced by one decomposition set.
+type SetEstimate struct {
+	// Vars is the decomposition set (sorted by variable index).
+	Vars []cnf.Var
+	// Estimate is the Monte Carlo estimate; Estimate.Value is the 1-core
+	// predictive function value F.
+	Estimate montecarlo.Estimate
+	// PerCores is the extrapolation of the prediction to Cores cores.
+	PerCores float64
+	// Cores echoes the core count used for PerCores.
+	Cores int
+	// SatisfiableSamples counts satisfiable subproblems in the sample.
+	SatisfiableSamples int
+	// WallTime is the time spent computing the estimate.
+	WallTime time.Duration
+}
+
+// EstimatePoint evaluates the predictive function at a point of the search
+// space.
+func (e *Engine) EstimatePoint(ctx context.Context, p decomp.Point) (*SetEstimate, error) {
+	pe, err := e.runner.EvaluatePoint(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &SetEstimate{
+		Vars:               p.SortedVars(),
+		Estimate:           pe.Estimate,
+		PerCores:           montecarlo.ExtrapolateCores(pe.Estimate.Value, e.cfg.Cores),
+		Cores:              e.cfg.Cores,
+		SatisfiableSamples: pe.SatisfiableSamples,
+		WallTime:           pe.WallTime,
+	}, nil
+}
+
+// EstimateSet evaluates the predictive function for an explicit
+// decomposition set (which must be a subset of the start set).
+func (e *Engine) EstimateSet(ctx context.Context, vars []cnf.Var) (*SetEstimate, error) {
+	p, err := e.space.PointFromVars(vars)
+	if err != nil {
+		return nil, err
+	}
+	return e.EstimatePoint(ctx, p)
+}
+
+// EstimateStartSet evaluates the predictive function at X̃_start itself.
+func (e *Engine) EstimateStartSet(ctx context.Context) (*SetEstimate, error) {
+	return e.EstimatePoint(ctx, e.space.FullPoint())
+}
+
+// SearchOutcome is the result of a decomposition-set search.
+type SearchOutcome struct {
+	// Method names the metaheuristic ("simulated annealing" or "tabu search").
+	Method string
+	// Result is the raw optimizer result (best point, trace, stop reason).
+	Result *optimize.Result
+	// Best is the estimate of the best point found.
+	Best *SetEstimate
+}
+
+// SearchSimulatedAnnealing searches for a good decomposition set with
+// Algorithm 1, starting from the full start set (as in the paper).
+func (e *Engine) SearchSimulatedAnnealing(ctx context.Context) (*SearchOutcome, error) {
+	return e.searchFrom(ctx, "simulated annealing", e.space.FullPoint())
+}
+
+// SearchTabu searches for a good decomposition set with Algorithm 2,
+// starting from the full start set.
+func (e *Engine) SearchTabu(ctx context.Context) (*SearchOutcome, error) {
+	return e.searchFrom(ctx, "tabu search", e.space.FullPoint())
+}
+
+// SearchFrom runs the chosen method ("sa" or "tabu") from an explicit start
+// point.
+func (e *Engine) SearchFrom(ctx context.Context, method string, start decomp.Point) (*SearchOutcome, error) {
+	switch method {
+	case "sa", "annealing", "simulated annealing":
+		return e.searchFrom(ctx, "simulated annealing", start)
+	case "tabu", "tabu search":
+		return e.searchFrom(ctx, "tabu search", start)
+	default:
+		return nil, fmt.Errorf("core: unknown search method %q", method)
+	}
+}
+
+func (e *Engine) searchFrom(ctx context.Context, method string, start decomp.Point) (*SearchOutcome, error) {
+	var (
+		res *optimize.Result
+		err error
+	)
+	switch method {
+	case "simulated annealing":
+		res, err = optimize.SimulatedAnnealing(ctx, e.runner, start, e.cfg.Search)
+	default:
+		res, err = optimize.TabuSearch(ctx, e.runner, start, e.cfg.Search)
+	}
+	if err != nil {
+		return nil, err
+	}
+	best, err := e.EstimatePoint(ctx, res.BestPoint)
+	if err != nil {
+		// The search itself succeeded; return its result even if the final
+		// re-estimation was interrupted.
+		return &SearchOutcome{Method: method, Result: res}, nil
+	}
+	return &SearchOutcome{Method: method, Result: res, Best: best}, nil
+}
+
+// Comparison relates a prediction with the measured cost of actually
+// processing the decomposition family (one row of Table 3).
+type Comparison struct {
+	// Problem names the instance.
+	Problem string
+	// SetSize is |X̃_best|.
+	SetSize int
+	// Predicted1Core is the predictive function value F (1 CPU core).
+	Predicted1Core float64
+	// PredictedKCores is F divided by Cores.
+	PredictedKCores float64
+	// Cores is the extrapolation core count.
+	Cores int
+	// MeasuredTotal is the measured cost of processing the whole family
+	// (1-core sequential units, same metric as the prediction).
+	MeasuredTotal float64
+	// MeasuredToFirstSat is the measured cost until the first satisfiable
+	// subproblem.
+	MeasuredToFirstSat float64
+	// FoundSat reports whether a satisfiable subproblem (a key) was found.
+	FoundSat bool
+	// KeyValid reports whether the recovered state reproduces the observed
+	// keystream (only meaningful when the problem carries an Instance).
+	KeyValid bool
+	// Deviation is |MeasuredTotal-Predicted1Core| / Predicted1Core.
+	Deviation float64
+	// WallTime is the wall-clock time of the solving run.
+	WallTime time.Duration
+}
+
+// SolveWithSet processes the decomposition family induced by the given set
+// and returns the solve report (no prediction).
+func (e *Engine) SolveWithSet(ctx context.Context, vars []cnf.Var, opts pdsat.SolveOptions) (*pdsat.SolveReport, error) {
+	p, err := e.space.PointFromVars(vars)
+	if err != nil {
+		return nil, err
+	}
+	return e.runner.Solve(ctx, p, opts)
+}
+
+// PredictAndSolve estimates the partitioning induced by the decomposition
+// set and then actually processes the whole family, returning the
+// prediction-versus-measurement comparison of Table 3.
+func (e *Engine) PredictAndSolve(ctx context.Context, vars []cnf.Var) (*Comparison, error) {
+	p, err := e.space.PointFromVars(vars)
+	if err != nil {
+		return nil, err
+	}
+	est, err := e.EstimatePoint(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	report, err := e.runner.Solve(ctx, p, pdsat.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{
+		Problem:            e.problem.Name,
+		SetSize:            p.Count(),
+		Predicted1Core:     est.Estimate.Value,
+		PredictedKCores:    est.PerCores,
+		Cores:              est.Cores,
+		MeasuredTotal:      report.TotalCost,
+		MeasuredToFirstSat: report.CostToFirstSat,
+		FoundSat:           report.FoundSat,
+		Deviation:          montecarlo.RelativeDeviation(est.Estimate.Value, report.TotalCost),
+		WallTime:           report.WallTime,
+	}
+	if report.FoundSat && e.problem.Instance != nil {
+		gen, err := encoder.ByName(e.problem.Instance.Generator)
+		if err == nil {
+			ok, checkErr := e.problem.Instance.CheckRecoveredState(gen, report.Model)
+			cmp.KeyValid = ok && checkErr == nil
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/encoder"
+	"repro/internal/optimize"
+	"repro/internal/pdsat"
+	"repro/internal/solver"
+)
+
+// testInstance builds a weakened A5/1 instance small enough for fast tests
+// but hard enough that subproblems need real search.
+func testInstance(t testing.TB, known, ksLen int, seed int64) *encoder.Instance {
+	t.Helper()
+	inst, err := encoder.NewInstance(encoder.A51(), encoder.Config{
+		KeystreamLen: ksLen,
+		KnownSuffix:  known,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testConfig(sample int) Config {
+	return Config{
+		Runner: pdsat.Config{
+			SampleSize: sample,
+			Workers:    2,
+			Seed:       1,
+			CostMetric: solver.CostPropagations,
+		},
+		Search: optimize.Options{Seed: 1, MaxEvaluations: 30},
+		Cores:  480,
+	}
+}
+
+func TestFromInstanceAndFromFormula(t *testing.T) {
+	inst := testInstance(t, 52, 30, 1)
+	p := FromInstance(inst)
+	if p.Name == "" || p.Formula == nil || len(p.StartSet) != 12 || p.Instance != inst {
+		t.Fatalf("FromInstance: %+v", p)
+	}
+	if p.Space().Size() != 12 {
+		t.Fatal("Space size")
+	}
+
+	f := cnf.New(3)
+	f.AddClauseLits(1, 2, 3)
+	q := FromFormula("tiny", f, []cnf.Var{1, 2})
+	if q.Name != "tiny" || len(q.StartSet) != 2 || q.Instance != nil {
+		t.Fatalf("FromFormula: %+v", q)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for nil problem")
+	}
+	f := cnf.New(2)
+	f.AddClauseLits(1, 2)
+	if _, err := NewEngine(&Problem{Name: "x", Formula: f}, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty start set")
+	}
+	p := FromFormula("x", f, []cnf.Var{1, 2})
+	e, err := NewEngine(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Cores != 480 {
+		t.Fatal("zero Cores should default to 480")
+	}
+	if e.Problem() != p || e.Space() == nil || e.Runner() == nil {
+		t.Fatal("accessors misbehave")
+	}
+}
+
+func TestEstimateStartSetAndSet(t *testing.T) {
+	inst := testInstance(t, 48, 40, 3)
+	eng, err := NewEngine(FromInstance(inst), testConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	est, err := eng.EstimateStartSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Estimate.Dimension != 16 || est.Estimate.SampleSize != 12 {
+		t.Fatalf("estimate metadata: %+v", est.Estimate)
+	}
+	if est.Estimate.Value <= 0 {
+		t.Fatalf("estimate value should be positive with the propagation cost metric, got %v", est.Estimate.Value)
+	}
+	if est.PerCores >= est.Estimate.Value || est.Cores != 480 {
+		t.Fatalf("extrapolation wrong: %v vs %v", est.PerCores, est.Estimate.Value)
+	}
+	if len(est.Vars) != 16 {
+		t.Fatalf("Vars = %v", est.Vars)
+	}
+	if est.WallTime <= 0 {
+		t.Fatal("wall time")
+	}
+
+	// Estimate a strict subset.
+	sub, err := eng.EstimateSet(ctx, inst.UnknownStartVars()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Estimate.Dimension != 10 {
+		t.Fatalf("subset dimension = %d", sub.Estimate.Dimension)
+	}
+	// Variables outside the start set are rejected.
+	if _, err := eng.EstimateSet(ctx, []cnf.Var{cnf.Var(inst.CNF.NumVars)}); err == nil {
+		t.Fatal("expected error for variable outside the search space")
+	}
+}
+
+func TestSearchTabuAndSA(t *testing.T) {
+	inst := testInstance(t, 50, 40, 5)
+	eng, err := NewEngine(FromInstance(inst), testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tabu, err := eng.SearchTabu(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabu.Method != "tabu search" || tabu.Result == nil {
+		t.Fatalf("outcome: %+v", tabu)
+	}
+	if tabu.Result.Evaluations == 0 || tabu.Result.BestPoint.Count() == 0 {
+		t.Fatal("tabu search did no work")
+	}
+	if tabu.Best == nil || tabu.Best.Estimate.Value <= 0 {
+		t.Fatal("best estimate missing")
+	}
+
+	sa, err := eng.SearchSimulatedAnnealing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Method != "simulated annealing" || sa.Result.Evaluations == 0 {
+		t.Fatalf("outcome: %+v", sa)
+	}
+
+	// SearchFrom with an explicit method and start point.
+	out, err := eng.SearchFrom(ctx, "tabu", eng.Space().FullPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != "tabu search" {
+		t.Fatal("method name")
+	}
+	if _, err := eng.SearchFrom(ctx, "genetic", eng.Space().FullPoint()); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestPredictAndSolveAgreement(t *testing.T) {
+	// Weakened A5/1 with 11 unknown state bits: the full family (2048
+	// subproblems) is processed and compared against the prediction.
+	inst := testInstance(t, 53, 48, 7)
+	eng, err := NewEngine(FromInstance(inst), testConfig(160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cmp, err := eng.PredictAndSolve(ctx, inst.UnknownStartVars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.FoundSat {
+		t.Fatal("processing the whole family must find the secret key")
+	}
+	if !cmp.KeyValid {
+		t.Fatal("the recovered key must reproduce the keystream")
+	}
+	if cmp.SetSize != 11 || cmp.Cores != 480 {
+		t.Fatalf("metadata: %+v", cmp)
+	}
+	if cmp.Predicted1Core <= 0 || cmp.MeasuredTotal <= 0 {
+		t.Fatalf("degenerate costs: %+v", cmp)
+	}
+	if cmp.PredictedKCores >= cmp.Predicted1Core {
+		t.Fatal("k-core prediction should be smaller than 1-core prediction")
+	}
+	if cmp.MeasuredToFirstSat > cmp.MeasuredTotal {
+		t.Fatal("cost to first SAT cannot exceed the total cost")
+	}
+	// The headline claim of the paper: prediction and measurement agree
+	// (Table 3 reports ~8% average deviation; we allow a broad margin since
+	// the sample here is small).
+	if cmp.Deviation > 0.6 {
+		t.Fatalf("prediction %v deviates from measurement %v by %.0f%%",
+			cmp.Predicted1Core, cmp.MeasuredTotal, cmp.Deviation*100)
+	}
+	if cmp.WallTime <= 0 {
+		t.Fatal("wall time")
+	}
+}
+
+func TestSolveWithSet(t *testing.T) {
+	inst := testInstance(t, 54, 40, 9)
+	eng, err := NewEngine(FromInstance(inst), testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.SolveWithSet(context.Background(), inst.UnknownStartVars(), pdsat.SolveOptions{StopOnSat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.FoundSat {
+		t.Fatal("expected to find the key")
+	}
+	if _, err := eng.SolveWithSet(context.Background(), []cnf.Var{9999}, pdsat.SolveOptions{}); err == nil {
+		t.Fatal("expected error for out-of-space variable")
+	}
+}
+
+func TestPredictAndSolveErrors(t *testing.T) {
+	inst := testInstance(t, 54, 30, 11)
+	eng, err := NewEngine(FromInstance(inst), testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PredictAndSolve(context.Background(), []cnf.Var{9999}); err == nil {
+		t.Fatal("expected error for out-of-space variable")
+	}
+	// A cancelled context surfaces as an error from the estimation phase.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.PredictAndSolve(ctx, inst.UnknownStartVars()); err == nil {
+		t.Fatal("expected error for cancelled context")
+	}
+}

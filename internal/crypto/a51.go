@@ -1,0 +1,207 @@
+// Package crypto contains bit-level reference implementations and Boolean
+// circuit models of the three keystream generators studied in the paper:
+// A5/1, Bivium and Grain (v1).
+//
+// For each generator two artefacts are provided:
+//
+//   - a reference implementation operating on register states, used to
+//     generate keystreams and to validate the circuit models, and
+//   - a circuit builder producing a combinational circuit whose primary
+//     inputs are the unknown register state at the start of keystream
+//     generation and whose outputs are the first L keystream bits.  These
+//     circuits are the Transalg-equivalent encodings on which the SAT
+//     cryptanalysis instances of the paper are built (the key/IV
+//     initialization phase is omitted, exactly as in the paper: the object
+//     searched for is the post-initialization state).
+package crypto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// A51 models the GSM A5/1 keystream generator: three LFSRs of lengths 19, 22
+// and 23 bits with majority-controlled irregular clocking.  The total state
+// is 64 bits, which is also the secret searched for in the paper's
+// cryptanalysis formulation (114 keystream bits observed).
+type A51 struct {
+	// R1, R2, R3 hold the register contents, least significant index = cell 0.
+	R1, R2, R3 []bool
+}
+
+// A5/1 register lengths and tap/clocking positions.
+const (
+	A51R1Len = 19
+	A51R2Len = 22
+	A51R3Len = 23
+	// A51StateBits is the total number of state (input) bits.
+	A51StateBits = A51R1Len + A51R2Len + A51R3Len
+	// A51KeystreamLen is the keystream length used in the paper (one GSM
+	// burst).
+	A51KeystreamLen = 114
+
+	a51R1Clock = 8
+	a51R2Clock = 10
+	a51R3Clock = 10
+)
+
+var (
+	a51R1Taps = []int{18, 17, 16, 13}
+	a51R2Taps = []int{21, 20}
+	a51R3Taps = []int{22, 21, 20, 7}
+)
+
+// NewA51FromState creates an A5/1 generator from a 64-bit state (R1 cells
+// 0..18, then R2 cells 0..21, then R3 cells 0..22).
+func NewA51FromState(state []bool) (*A51, error) {
+	if len(state) != A51StateBits {
+		return nil, fmt.Errorf("crypto: A5/1 state must have %d bits, got %d", A51StateBits, len(state))
+	}
+	g := &A51{
+		R1: append([]bool(nil), state[:A51R1Len]...),
+		R2: append([]bool(nil), state[A51R1Len:A51R1Len+A51R2Len]...),
+		R3: append([]bool(nil), state[A51R1Len+A51R2Len:]...),
+	}
+	return g, nil
+}
+
+// RandomA51State returns a uniformly random 64-bit A5/1 state.
+func RandomA51State(rng *rand.Rand) []bool {
+	return randomBits(rng, A51StateBits)
+}
+
+// State returns the current 64-bit state.
+func (g *A51) State() []bool {
+	out := make([]bool, 0, A51StateBits)
+	out = append(out, g.R1...)
+	out = append(out, g.R2...)
+	out = append(out, g.R3...)
+	return out
+}
+
+func xorBits(reg []bool, taps []int) bool {
+	v := false
+	for _, t := range taps {
+		v = v != reg[t]
+	}
+	return v
+}
+
+func shiftIn(reg []bool, fb bool) {
+	copy(reg[1:], reg[:len(reg)-1])
+	reg[0] = fb
+}
+
+// Clock advances the generator one step and returns the produced keystream
+// bit.
+func (g *A51) Clock() bool {
+	c1, c2, c3 := g.R1[a51R1Clock], g.R2[a51R2Clock], g.R3[a51R3Clock]
+	maj := (c1 && c2) || (c1 && c3) || (c2 && c3)
+	if c1 == maj {
+		fb := xorBits(g.R1, a51R1Taps)
+		shiftIn(g.R1, fb)
+	}
+	if c2 == maj {
+		fb := xorBits(g.R2, a51R2Taps)
+		shiftIn(g.R2, fb)
+	}
+	if c3 == maj {
+		fb := xorBits(g.R3, a51R3Taps)
+		shiftIn(g.R3, fb)
+	}
+	return g.R1[A51R1Len-1] != g.R2[A51R2Len-1] != g.R3[A51R3Len-1]
+}
+
+// Keystream produces the next n keystream bits.
+func (g *A51) Keystream(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = g.Clock()
+	}
+	return out
+}
+
+// A51Keystream is a convenience: keystream of length n from a 64-bit state.
+func A51Keystream(state []bool, n int) ([]bool, error) {
+	g, err := NewA51FromState(state)
+	if err != nil {
+		return nil, err
+	}
+	return g.Keystream(n), nil
+}
+
+// BuildA51Circuit builds a combinational circuit computing the first
+// keystreamLen bits of A5/1 keystream from the 64 unknown state bits.
+// Register cells are modelled with MUX gates selecting between "shifted" and
+// "unchanged" according to the majority clocking.
+func BuildA51Circuit(keystreamLen int) *circuit.Circuit {
+	c := circuit.New()
+	r1 := make([]circuit.GateID, A51R1Len)
+	r2 := make([]circuit.GateID, A51R2Len)
+	r3 := make([]circuit.GateID, A51R3Len)
+	for i := range r1 {
+		r1[i] = c.Input(fmt.Sprintf("r1_%d", i))
+	}
+	for i := range r2 {
+		r2[i] = c.Input(fmt.Sprintf("r2_%d", i))
+	}
+	for i := range r3 {
+		r3[i] = c.Input(fmt.Sprintf("r3_%d", i))
+	}
+
+	xorTaps := func(reg []circuit.GateID, taps []int) circuit.GateID {
+		ids := make([]circuit.GateID, len(taps))
+		for i, t := range taps {
+			ids[i] = reg[t]
+		}
+		return c.Xor(ids...)
+	}
+	stepReg := func(reg []circuit.GateID, taps []int, move circuit.GateID) []circuit.GateID {
+		fb := xorTaps(reg, taps)
+		next := make([]circuit.GateID, len(reg))
+		next[0] = c.Mux(move, fb, reg[0])
+		for i := 1; i < len(reg); i++ {
+			next[i] = c.Mux(move, reg[i-1], reg[i])
+		}
+		return next
+	}
+
+	for t := 0; t < keystreamLen; t++ {
+		maj := c.Maj(r1[a51R1Clock], r2[a51R2Clock], r3[a51R3Clock])
+		// Register moves iff its clocking bit equals the majority.
+		move1 := c.Not(c.Xor2(r1[a51R1Clock], maj))
+		move2 := c.Not(c.Xor2(r2[a51R2Clock], maj))
+		move3 := c.Not(c.Xor2(r3[a51R3Clock], maj))
+		r1 = stepReg(r1, a51R1Taps, move1)
+		r2 = stepReg(r2, a51R2Taps, move2)
+		r3 = stepReg(r3, a51R3Taps, move3)
+		z := c.Xor(r1[A51R1Len-1], r2[A51R2Len-1], r3[A51R3Len-1])
+		c.MarkOutput(z, fmt.Sprintf("z_%d", t))
+	}
+	return c
+}
+
+// randomBits returns n uniformly random bits.
+func randomBits(rng *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+// BitsToString renders a bit slice as a 0/1 string, useful in logs and
+// examples.
+func BitsToString(bits []bool) string {
+	buf := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

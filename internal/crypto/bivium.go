@@ -1,0 +1,136 @@
+package crypto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Bivium models the Bivium-B keystream generator (De Cannière's reduced
+// Trivium with two registers of 93 and 84 cells, 177 state bits in total).
+// The paper's cryptanalysis formulation searches for the 177-bit register
+// state at the end of the initialization phase given 200 keystream bits, so
+// the initialization phase itself is not modelled in the circuit; it is
+// available in the reference implementation for completeness.
+type Bivium struct {
+	// S holds the 177 state cells s1..s177 (S[0] is s1).
+	S []bool
+}
+
+// Bivium parameters.
+const (
+	// BiviumReg1Len is the length of the first register (cells s1..s93).
+	BiviumReg1Len = 93
+	// BiviumReg2Len is the length of the second register (cells s94..s177).
+	BiviumReg2Len = 84
+	// BiviumStateBits is the total number of state bits.
+	BiviumStateBits = BiviumReg1Len + BiviumReg2Len
+	// BiviumKeystreamLen is the keystream length used in the paper.
+	BiviumKeystreamLen = 200
+	// BiviumKeyBits and BiviumIVBits are the key/IV lengths used by the
+	// initialization phase.
+	BiviumKeyBits = 80
+	BiviumIVBits  = 80
+	// BiviumInitRounds is the number of initialization rounds.
+	BiviumInitRounds = 708
+)
+
+// NewBiviumFromState creates a Bivium generator from a 177-bit state.
+func NewBiviumFromState(state []bool) (*Bivium, error) {
+	if len(state) != BiviumStateBits {
+		return nil, fmt.Errorf("crypto: Bivium state must have %d bits, got %d", BiviumStateBits, len(state))
+	}
+	return &Bivium{S: append([]bool(nil), state...)}, nil
+}
+
+// NewBiviumFromKeyIV creates a Bivium generator from an 80-bit key and an
+// 80-bit IV and runs the 708-round initialization phase (no keystream is
+// produced during initialization).
+func NewBiviumFromKeyIV(key, iv []bool) (*Bivium, error) {
+	if len(key) != BiviumKeyBits || len(iv) != BiviumIVBits {
+		return nil, fmt.Errorf("crypto: Bivium needs %d key and %d IV bits", BiviumKeyBits, BiviumIVBits)
+	}
+	s := make([]bool, BiviumStateBits)
+	copy(s, key) // s1..s80 = key, s81..s93 = 0
+	copy(s[BiviumReg1Len:], iv)
+	g := &Bivium{S: s}
+	for i := 0; i < BiviumInitRounds; i++ {
+		g.Clock()
+	}
+	return g, nil
+}
+
+// RandomBiviumState returns a uniformly random 177-bit state.
+func RandomBiviumState(rng *rand.Rand) []bool {
+	return randomBits(rng, BiviumStateBits)
+}
+
+// State returns a copy of the current 177-bit state.
+func (g *Bivium) State() []bool { return append([]bool(nil), g.S...) }
+
+// cell returns s_i (1-based, as in the cipher specification).
+func (g *Bivium) cell(i int) bool { return g.S[i-1] }
+
+// Clock advances the generator one step and returns the keystream bit.
+func (g *Bivium) Clock() bool {
+	t1 := g.cell(66) != g.cell(93)
+	t2 := g.cell(162) != g.cell(177)
+	z := t1 != t2
+	t1 = t1 != (g.cell(91) && g.cell(92)) != g.cell(171)
+	t2 = t2 != (g.cell(175) && g.cell(176)) != g.cell(69)
+	// Shift register 1: s1..s93 <- (t2, s1..s92)
+	copy(g.S[1:BiviumReg1Len], g.S[0:BiviumReg1Len-1])
+	g.S[0] = t2
+	// Shift register 2: s94..s177 <- (t1, s94..s176)
+	copy(g.S[BiviumReg1Len+1:], g.S[BiviumReg1Len:BiviumStateBits-1])
+	g.S[BiviumReg1Len] = t1
+	return z
+}
+
+// Keystream produces the next n keystream bits.
+func (g *Bivium) Keystream(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = g.Clock()
+	}
+	return out
+}
+
+// BiviumKeystream is a convenience: keystream of length n from a state.
+func BiviumKeystream(state []bool, n int) ([]bool, error) {
+	g, err := NewBiviumFromState(state)
+	if err != nil {
+		return nil, err
+	}
+	return g.Keystream(n), nil
+}
+
+// BuildBiviumCircuit builds a combinational circuit computing the first
+// keystreamLen keystream bits of Bivium from the unknown 177-bit state at
+// the end of the initialization phase.  Inputs are named s1..s177; inputs
+// 1..93 are the first register, inputs 94..177 the second, matching the
+// "starting variables" of the paper (Figure 3).
+func BuildBiviumCircuit(keystreamLen int) *circuit.Circuit {
+	c := circuit.New()
+	s := make([]circuit.GateID, BiviumStateBits)
+	for i := range s {
+		s[i] = c.Input(fmt.Sprintf("s%d", i+1))
+	}
+	cell := func(i int) circuit.GateID { return s[i-1] } // 1-based access
+	for t := 0; t < keystreamLen; t++ {
+		t1 := c.Xor2(cell(66), cell(93))
+		t2 := c.Xor2(cell(162), cell(177))
+		z := c.Xor2(t1, t2)
+		c.MarkOutput(z, fmt.Sprintf("z_%d", t))
+		nt1 := c.Xor(t1, c.And2(cell(91), cell(92)), cell(171))
+		nt2 := c.Xor(t2, c.And2(cell(175), cell(176)), cell(69))
+		next := make([]circuit.GateID, BiviumStateBits)
+		next[0] = nt2
+		copy(next[1:BiviumReg1Len], s[0:BiviumReg1Len-1])
+		next[BiviumReg1Len] = nt1
+		copy(next[BiviumReg1Len+1:], s[BiviumReg1Len:BiviumStateBits-1])
+		s = next
+	}
+	return c
+}

@@ -1,0 +1,320 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestA51StateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	state := RandomA51State(rng)
+	g, err := NewA51FromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.State()
+	for i := range state {
+		if got[i] != state[i] {
+			t.Fatalf("state round trip failed at bit %d", i)
+		}
+	}
+	if _, err := NewA51FromState(make([]bool, 10)); err == nil {
+		t.Fatal("expected error for wrong state size")
+	}
+}
+
+func TestA51KeystreamDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	state := RandomA51State(rng)
+	k1, err := A51Keystream(state, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := A51Keystream(state, 114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("keystream is not deterministic")
+		}
+	}
+	if len(k1) != 114 {
+		t.Fatalf("keystream length = %d", len(k1))
+	}
+}
+
+func TestA51KeystreamDependsOnState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s1 := RandomA51State(rng)
+	s2 := append([]bool(nil), s1...)
+	s2[0] = !s2[0]
+	k1, _ := A51Keystream(s1, 64)
+	k2, _ := A51Keystream(s2, 64)
+	same := true
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("flipping a state bit should eventually change the keystream")
+	}
+}
+
+func TestA51CircuitMatchesReference(t *testing.T) {
+	const ksLen = 32
+	circ := BuildA51Circuit(ksLen)
+	if circ.NumInputs() != A51StateBits {
+		t.Fatalf("circuit inputs = %d, want %d", circ.NumInputs(), A51StateBits)
+	}
+	if circ.NumOutputs() != ksLen {
+		t.Fatalf("circuit outputs = %d, want %d", circ.NumOutputs(), ksLen)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 20; iter++ {
+		state := RandomA51State(rng)
+		want, err := A51Keystream(state, ksLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := circ.Evaluate(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: circuit and reference disagree at keystream bit %d", iter, i)
+			}
+		}
+	}
+}
+
+func TestBiviumStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	state := RandomBiviumState(rng)
+	g, err := NewBiviumFromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.State()
+	for i := range state {
+		if got[i] != state[i] {
+			t.Fatal("state round trip failed")
+		}
+	}
+	if _, err := NewBiviumFromState(make([]bool, 7)); err == nil {
+		t.Fatal("expected error for wrong state size")
+	}
+}
+
+func TestBiviumKeyIVInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	key := randomBits(rng, BiviumKeyBits)
+	iv := randomBits(rng, BiviumIVBits)
+	g, err := NewBiviumFromKeyIV(key, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := g.Keystream(100)
+	if len(ks) != 100 {
+		t.Fatal("keystream length")
+	}
+	// Same key/IV must reproduce the same keystream.
+	g2, _ := NewBiviumFromKeyIV(key, iv)
+	ks2 := g2.Keystream(100)
+	for i := range ks {
+		if ks[i] != ks2[i] {
+			t.Fatal("initialization is not deterministic")
+		}
+	}
+	// Different key should diverge.
+	key2 := append([]bool(nil), key...)
+	key2[0] = !key2[0]
+	g3, _ := NewBiviumFromKeyIV(key2, iv)
+	ks3 := g3.Keystream(100)
+	same := true
+	for i := range ks {
+		if ks[i] != ks3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different keys should give different keystreams")
+	}
+	if _, err := NewBiviumFromKeyIV(key[:10], iv); err == nil {
+		t.Fatal("expected error for short key")
+	}
+}
+
+func TestBiviumCircuitMatchesReference(t *testing.T) {
+	const ksLen = 40
+	circ := BuildBiviumCircuit(ksLen)
+	if circ.NumInputs() != BiviumStateBits {
+		t.Fatalf("circuit inputs = %d, want %d", circ.NumInputs(), BiviumStateBits)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		state := RandomBiviumState(rng)
+		want, err := BiviumKeystream(state, ksLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := circ.Evaluate(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: circuit and reference disagree at bit %d", iter, i)
+			}
+		}
+	}
+}
+
+func TestGrainStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	state := RandomGrainState(rng)
+	g, err := NewGrainFromState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.State()
+	for i := range state {
+		if got[i] != state[i] {
+			t.Fatal("state round trip failed")
+		}
+	}
+	if _, err := NewGrainFromState(make([]bool, 3)); err == nil {
+		t.Fatal("expected error for wrong state size")
+	}
+}
+
+func TestGrainKeyIVInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	key := randomBits(rng, GrainKeyBits)
+	iv := randomBits(rng, GrainIVBits)
+	g, err := NewGrainFromKeyIV(key, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := g.Keystream(80)
+	g2, _ := NewGrainFromKeyIV(key, iv)
+	ks2 := g2.Keystream(80)
+	for i := range ks {
+		if ks[i] != ks2[i] {
+			t.Fatal("initialization is not deterministic")
+		}
+	}
+	if _, err := NewGrainFromKeyIV(key, iv[:3]); err == nil {
+		t.Fatal("expected error for short IV")
+	}
+}
+
+func TestGrainCircuitMatchesReference(t *testing.T) {
+	const ksLen = 30
+	circ := BuildGrainCircuit(ksLen)
+	if circ.NumInputs() != GrainStateBits {
+		t.Fatalf("circuit inputs = %d, want %d", circ.NumInputs(), GrainStateBits)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 15; iter++ {
+		state := RandomGrainState(rng)
+		want, err := GrainKeystream(state, ksLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := circ.Evaluate(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: circuit and reference disagree at bit %d", iter, i)
+			}
+		}
+	}
+}
+
+// Property: keystream generation from a state is a pure function of the
+// state (no hidden global state), for all three generators.
+func TestKeystreamPureFunctionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomA51State(rng)
+		b := RandomBiviumState(rng)
+		g := RandomGrainState(rng)
+		ka1, _ := A51Keystream(a, 40)
+		kb1, _ := BiviumKeystream(b, 40)
+		kg1, _ := GrainKeystream(g, 40)
+		ka2, _ := A51Keystream(a, 40)
+		kb2, _ := BiviumKeystream(b, 40)
+		kg2, _ := GrainKeystream(g, 40)
+		for i := 0; i < 40; i++ {
+			if ka1[i] != ka2[i] || kb1[i] != kb2[i] || kg1[i] != kg2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Keystreams should look balanced (not constant) — a sanity check against
+// trivially broken feedback functions.
+func TestKeystreamBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	count := func(bits []bool) int {
+		n := 0
+		for _, b := range bits {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	const n = 2000
+	ka, _ := A51Keystream(RandomA51State(rng), n)
+	kb, _ := BiviumKeystream(RandomBiviumState(rng), n)
+	kg, _ := GrainKeystream(RandomGrainState(rng), n)
+	for name, ks := range map[string][]bool{"a5/1": ka, "bivium": kb, "grain": kg} {
+		ones := count(ks)
+		if ones < n/4 || ones > 3*n/4 {
+			t.Errorf("%s keystream looks badly unbalanced: %d ones out of %d", name, ones, n)
+		}
+	}
+}
+
+func TestBitsToString(t *testing.T) {
+	if got := BitsToString([]bool{true, false, true}); got != "101" {
+		t.Fatalf("BitsToString = %q", got)
+	}
+	if got := BitsToString(nil); got != "" {
+		t.Fatalf("BitsToString(nil) = %q", got)
+	}
+}
+
+func TestRandomStatesHaveCorrectSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if len(RandomA51State(rng)) != A51StateBits {
+		t.Fatal("A5/1 state size")
+	}
+	if len(RandomBiviumState(rng)) != BiviumStateBits {
+		t.Fatal("Bivium state size")
+	}
+	if len(RandomGrainState(rng)) != GrainStateBits {
+		t.Fatal("Grain state size")
+	}
+}
+
+func TestA51CircuitSizeIsReasonable(t *testing.T) {
+	circ := BuildA51Circuit(16)
+	if circ.NumGates() == 0 || circ.NumGates() > 200000 {
+		t.Fatalf("suspicious gate count %d", circ.NumGates())
+	}
+}

@@ -1,0 +1,233 @@
+package crypto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Grain models the Grain v1 keystream generator: an 80-bit NFSR and an
+// 80-bit LFSR combined through the filter function h(x).  As in the paper
+// the cryptanalysis circuit takes the 160-bit register state at the end of
+// the initialization phase as its unknown input and produces 160 keystream
+// bits; the key/IV initialization is available in the reference
+// implementation.
+type Grain struct {
+	// B holds the NFSR cells b0..b79, S the LFSR cells s0..s79.
+	B, S []bool
+}
+
+// Grain parameters.
+const (
+	// GrainNFSRLen and GrainLFSRLen are the register lengths.
+	GrainNFSRLen = 80
+	GrainLFSRLen = 80
+	// GrainStateBits is the total number of state bits.
+	GrainStateBits = GrainNFSRLen + GrainLFSRLen
+	// GrainKeystreamLen is the keystream length used in the paper.
+	GrainKeystreamLen = 160
+	// GrainKeyBits and GrainIVBits are the key/IV lengths.
+	GrainKeyBits = 80
+	GrainIVBits  = 64
+	// GrainInitRounds is the number of initialization rounds.
+	GrainInitRounds = 160
+)
+
+// grainOutputTaps are the NFSR cells XORed into every keystream bit.
+var grainOutputTaps = []int{1, 2, 4, 10, 31, 43, 56}
+
+// NewGrainFromState creates a Grain generator from a 160-bit state
+// (NFSR b0..b79 followed by LFSR s0..s79).
+func NewGrainFromState(state []bool) (*Grain, error) {
+	if len(state) != GrainStateBits {
+		return nil, fmt.Errorf("crypto: Grain state must have %d bits, got %d", GrainStateBits, len(state))
+	}
+	return &Grain{
+		B: append([]bool(nil), state[:GrainNFSRLen]...),
+		S: append([]bool(nil), state[GrainNFSRLen:]...),
+	}, nil
+}
+
+// NewGrainFromKeyIV creates a Grain generator from an 80-bit key and 64-bit
+// IV and runs the 160 initialization rounds (during which the output bit is
+// fed back into both registers and no keystream is produced).
+func NewGrainFromKeyIV(key, iv []bool) (*Grain, error) {
+	if len(key) != GrainKeyBits || len(iv) != GrainIVBits {
+		return nil, fmt.Errorf("crypto: Grain needs %d key and %d IV bits", GrainKeyBits, GrainIVBits)
+	}
+	g := &Grain{B: append([]bool(nil), key...), S: make([]bool, GrainLFSRLen)}
+	copy(g.S, iv)
+	for i := GrainIVBits; i < GrainLFSRLen; i++ {
+		g.S[i] = true // remaining LFSR cells filled with ones
+	}
+	for i := 0; i < GrainInitRounds; i++ {
+		z := g.outputBit()
+		fbL := g.lfsrFeedback() != z
+		fbN := g.nfsrFeedback() != z
+		g.shift(fbN, fbL)
+	}
+	return g, nil
+}
+
+// RandomGrainState returns a uniformly random 160-bit state.
+func RandomGrainState(rng *rand.Rand) []bool {
+	return randomBits(rng, GrainStateBits)
+}
+
+// State returns a copy of the 160-bit state (NFSR then LFSR).
+func (g *Grain) State() []bool {
+	out := make([]bool, 0, GrainStateBits)
+	out = append(out, g.B...)
+	out = append(out, g.S...)
+	return out
+}
+
+// lfsrFeedback computes f: s80 = s62+s51+s38+s23+s13+s0.
+func (g *Grain) lfsrFeedback() bool {
+	s := g.S
+	return s[62] != s[51] != s[38] != s[23] != s[13] != s[0]
+}
+
+// nfsrFeedback computes the nonlinear feedback g of Grain v1.
+func (g *Grain) nfsrFeedback() bool {
+	b := g.B
+	v := g.S[0] != b[62] != b[60] != b[52] != b[45] != b[37] != b[33] != b[28] !=
+		b[21] != b[14] != b[9] != b[0]
+	v = v != (b[63] && b[60])
+	v = v != (b[37] && b[33])
+	v = v != (b[15] && b[9])
+	v = v != (b[60] && b[52] && b[45])
+	v = v != (b[33] && b[28] && b[21])
+	v = v != (b[63] && b[45] && b[28] && b[9])
+	v = v != (b[60] && b[52] && b[37] && b[33])
+	v = v != (b[63] && b[60] && b[21] && b[15])
+	v = v != (b[63] && b[60] && b[52] && b[45] && b[37])
+	v = v != (b[33] && b[28] && b[21] && b[15] && b[9])
+	v = v != (b[52] && b[45] && b[37] && b[33] && b[28] && b[21])
+	return v
+}
+
+// h computes the filter function h(x0..x4) of Grain v1.
+func grainH(x0, x1, x2, x3, x4 bool) bool {
+	v := x1 != x4
+	v = v != (x0 && x3)
+	v = v != (x2 && x3)
+	v = v != (x3 && x4)
+	v = v != (x0 && x1 && x2)
+	v = v != (x0 && x2 && x3)
+	v = v != (x0 && x2 && x4)
+	v = v != (x1 && x2 && x4)
+	v = v != (x2 && x3 && x4)
+	return v
+}
+
+// outputBit computes the keystream bit for the current state.
+func (g *Grain) outputBit() bool {
+	h := grainH(g.S[3], g.S[25], g.S[46], g.S[64], g.B[63])
+	z := h
+	for _, k := range grainOutputTaps {
+		z = z != g.B[k]
+	}
+	return z
+}
+
+// shift advances both registers by one position with the given feedback
+// bits.
+func (g *Grain) shift(fbN, fbL bool) {
+	copy(g.B, g.B[1:])
+	g.B[GrainNFSRLen-1] = fbN
+	copy(g.S, g.S[1:])
+	g.S[GrainLFSRLen-1] = fbL
+}
+
+// Clock advances the generator one step and returns the keystream bit.
+func (g *Grain) Clock() bool {
+	z := g.outputBit()
+	g.shift(g.nfsrFeedback(), g.lfsrFeedback())
+	return z
+}
+
+// Keystream produces the next n keystream bits.
+func (g *Grain) Keystream(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = g.Clock()
+	}
+	return out
+}
+
+// GrainKeystream is a convenience: keystream of length n from a state.
+func GrainKeystream(state []bool, n int) ([]bool, error) {
+	g, err := NewGrainFromState(state)
+	if err != nil {
+		return nil, err
+	}
+	return g.Keystream(n), nil
+}
+
+// BuildGrainCircuit builds a combinational circuit computing the first
+// keystreamLen keystream bits of Grain v1 from the unknown 160-bit state
+// (NFSR inputs b0..b79 first, then LFSR inputs s0..s79), matching the
+// starting-variable layout of the paper (Figure 4).
+func BuildGrainCircuit(keystreamLen int) *circuit.Circuit {
+	c := circuit.New()
+	b := make([]circuit.GateID, GrainNFSRLen)
+	s := make([]circuit.GateID, GrainLFSRLen)
+	for i := range b {
+		b[i] = c.Input(fmt.Sprintf("b%d", i))
+	}
+	for i := range s {
+		s[i] = c.Input(fmt.Sprintf("s%d", i))
+	}
+
+	for t := 0; t < keystreamLen; t++ {
+		h := buildGrainH(c, s[3], s[25], s[46], s[64], b[63])
+		terms := []circuit.GateID{h}
+		for _, k := range grainOutputTaps {
+			terms = append(terms, b[k])
+		}
+		z := c.Xor(terms...)
+		c.MarkOutput(z, fmt.Sprintf("z_%d", t))
+
+		fbL := c.Xor(s[62], s[51], s[38], s[23], s[13], s[0])
+		fbN := buildGrainNFSRFeedback(c, b, s[0])
+
+		copy(b, b[1:])
+		b[GrainNFSRLen-1] = fbN
+		copy(s, s[1:])
+		s[GrainLFSRLen-1] = fbL
+	}
+	return c
+}
+
+func buildGrainH(c *circuit.Circuit, x0, x1, x2, x3, x4 circuit.GateID) circuit.GateID {
+	return c.Xor(
+		x1, x4,
+		c.And2(x0, x3),
+		c.And2(x2, x3),
+		c.And2(x3, x4),
+		c.And(x0, x1, x2),
+		c.And(x0, x2, x3),
+		c.And(x0, x2, x4),
+		c.And(x1, x2, x4),
+		c.And(x2, x3, x4),
+	)
+}
+
+func buildGrainNFSRFeedback(c *circuit.Circuit, b []circuit.GateID, s0 circuit.GateID) circuit.GateID {
+	return c.Xor(
+		s0, b[62], b[60], b[52], b[45], b[37], b[33], b[28], b[21], b[14], b[9], b[0],
+		c.And2(b[63], b[60]),
+		c.And2(b[37], b[33]),
+		c.And2(b[15], b[9]),
+		c.And(b[60], b[52], b[45]),
+		c.And(b[33], b[28], b[21]),
+		c.And(b[63], b[45], b[28], b[9]),
+		c.And(b[60], b[52], b[37], b[33]),
+		c.And(b[63], b[60], b[21], b[15]),
+		c.And(b[63], b[60], b[52], b[45], b[37]),
+		c.And(b[33], b[28], b[21], b[15], b[9]),
+		c.And(b[52], b[45], b[37], b[33], b[28], b[21]),
+	)
+}

@@ -1,0 +1,231 @@
+package encoder
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"a5/1", "a51", "bivium", "grain"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if gen.StateBits == 0 || gen.Build == nil || gen.Keystream == nil || gen.RandomState == nil {
+			t.Fatalf("ByName(%q) returned incomplete generator", name)
+		}
+	}
+	if _, err := ByName("des"); err == nil {
+		t.Fatal("expected error for unknown generator")
+	}
+}
+
+func TestGeneratorDescriptors(t *testing.T) {
+	if A51().StateBits != 64 || A51().DefaultKeystreamLen != 114 {
+		t.Fatal("A5/1 descriptor wrong")
+	}
+	if Bivium().StateBits != 177 || Bivium().DefaultKeystreamLen != 200 {
+		t.Fatal("Bivium descriptor wrong")
+	}
+	if Grain().StateBits != 160 || Grain().DefaultKeystreamLen != 160 {
+		t.Fatal("Grain descriptor wrong")
+	}
+}
+
+// secretSatisfies checks that fixing the start variables to the secret makes
+// the instance satisfiable (via unit clauses + CDCL).
+func secretSatisfies(t *testing.T, inst *Instance) {
+	t.Helper()
+	f := inst.CNF.Clone()
+	for i, v := range inst.StartVars {
+		f.AddClause(cnf.Clause{cnf.NewLit(v, inst.Secret[i])})
+	}
+	res := solver.NewDefault(f).Solve()
+	if res.Status != solver.Sat {
+		t.Fatalf("instance %s with secret fixed should be SAT, got %v", inst.Name, res.Status)
+	}
+}
+
+func TestNewInstanceSecretConsistency(t *testing.T) {
+	cases := []struct {
+		gen Generator
+		cfg Config
+	}{
+		{A51(), Config{KeystreamLen: 24, Seed: 1}},
+		{Bivium(), Config{KeystreamLen: 30, Seed: 2}},
+		{Grain(), Config{KeystreamLen: 16, Seed: 3}},
+	}
+	for _, tc := range cases {
+		inst, err := NewInstance(tc.gen, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.gen.Name, err)
+		}
+		if len(inst.StartVars) != tc.gen.StateBits {
+			t.Fatalf("%s: %d start vars, want %d", tc.gen.Name, len(inst.StartVars), tc.gen.StateBits)
+		}
+		if len(inst.Keystream) != tc.cfg.KeystreamLen {
+			t.Fatalf("%s: keystream length %d", tc.gen.Name, len(inst.Keystream))
+		}
+		if inst.CNF.NumClauses() == 0 {
+			t.Fatalf("%s: empty CNF", tc.gen.Name)
+		}
+		secretSatisfies(t, inst)
+	}
+}
+
+func TestDefaultKeystreamLength(t *testing.T) {
+	inst, err := NewInstance(A51(), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Keystream) != 114 {
+		t.Fatalf("default keystream length = %d, want 114", len(inst.Keystream))
+	}
+}
+
+func TestWeakenedInstanceSolvesToSecretKeystream(t *testing.T) {
+	// Heavily weakened Bivium: only a handful of unknown state bits remain,
+	// so the CDCL solver finds a state quickly.  The recovered state must
+	// reproduce the observed keystream.
+	gen := Bivium()
+	inst, err := NewInstance(gen, Config{KeystreamLen: 60, Seed: 7, KnownSuffix: 165})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.KnownSuffix != 165 {
+		t.Fatalf("KnownSuffix = %d", inst.KnownSuffix)
+	}
+	if got := len(inst.UnknownStartVars()); got != 177-165 {
+		t.Fatalf("UnknownStartVars = %d, want %d", got, 177-165)
+	}
+	res := solver.NewDefault(inst.CNF).Solve()
+	if res.Status != solver.Sat {
+		t.Fatalf("weakened instance should be SAT, got %v", res.Status)
+	}
+	ok, err := inst.CheckRecoveredState(gen, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("recovered state does not reproduce the keystream")
+	}
+}
+
+func TestWeakenMethod(t *testing.T) {
+	gen := Grain()
+	inst, err := NewInstance(gen, Config{KeystreamLen: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := inst.Weaken(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.KnownSuffix != 150 {
+		t.Fatalf("KnownSuffix = %d", weak.KnownSuffix)
+	}
+	// The original instance is untouched.
+	if inst.KnownSuffix != 0 {
+		t.Fatal("Weaken must not modify the original")
+	}
+	if weak.CNF.NumClauses() != inst.CNF.NumClauses()+150 {
+		t.Fatalf("weakened clause count %d vs %d", weak.CNF.NumClauses(), inst.CNF.NumClauses())
+	}
+	res := solver.NewDefault(weak.CNF).Solve()
+	if res.Status != solver.Sat {
+		t.Fatalf("weakened Grain should be SAT, got %v", res.Status)
+	}
+	ok, err := weak.CheckRecoveredState(gen, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("recovered Grain state does not reproduce the keystream")
+	}
+	if _, err := inst.Weaken(-1); err == nil {
+		t.Fatal("expected error for negative weakening")
+	}
+	if _, err := inst.Weaken(1000); err == nil {
+		t.Fatal("expected error for oversized weakening")
+	}
+}
+
+func TestKnownSuffixValidation(t *testing.T) {
+	if _, err := NewInstance(A51(), Config{KnownSuffix: -1}); err == nil {
+		t.Fatal("expected error for negative KnownSuffix")
+	}
+	if _, err := NewInstance(A51(), Config{KnownSuffix: 100}); err == nil {
+		t.Fatal("expected error for too-large KnownSuffix")
+	}
+}
+
+func TestSecretAssignment(t *testing.T) {
+	inst, err := NewInstance(A51(), Config{KeystreamLen: 10, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := inst.SecretAssignment()
+	for i, v := range inst.StartVars {
+		want := cnf.False
+		if inst.Secret[i] {
+			want = cnf.True
+		}
+		if a.Value(v) != want {
+			t.Fatalf("secret assignment mismatch at start var %d", i)
+		}
+	}
+}
+
+func TestCheckRecoveredStateErrors(t *testing.T) {
+	gen := A51()
+	inst, err := NewInstance(gen, Config{KeystreamLen: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model leaving a start variable unassigned must be rejected.
+	empty := cnf.NewAssignment(inst.CNF.NumVars)
+	if _, err := inst.CheckRecoveredState(gen, empty); err == nil {
+		t.Fatal("expected error for incomplete model")
+	}
+	// A wrong (but complete) state should simply return false.
+	wrong := inst.SecretAssignment()
+	wrong.Set(inst.StartVars[0], wrong.Value(inst.StartVars[0]).Not())
+	ok, err := inst.CheckRecoveredState(gen, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		// Flipping one state bit of A5/1 changes the keystream with
+		// overwhelming probability for 8 bits; tolerate the rare collision
+		// by checking with a longer keystream only if this fails.
+		t.Log("flipped state reproduced the short keystream (rare but possible)")
+	}
+	// The true secret always passes.
+	ok, err = inst.CheckRecoveredState(gen, inst.SecretAssignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("secret assignment must reproduce the keystream")
+	}
+}
+
+func TestInstanceStringAndComments(t *testing.T) {
+	inst, err := NewInstance(Bivium(), Config{KeystreamLen: 12, Seed: 19, KnownSuffix: 170})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.String()
+	if !strings.Contains(s, "bivium") {
+		t.Fatalf("String = %q", s)
+	}
+	if len(inst.CNF.Comments) == 0 {
+		t.Fatal("instance CNF should carry comments")
+	}
+	if !strings.Contains(inst.Name, "k170") {
+		t.Fatalf("Name = %q", inst.Name)
+	}
+}

@@ -1,0 +1,240 @@
+package expts
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/encoder"
+)
+
+// A51Result bundles the outcomes of the A5/1 experiments (Table 1 and
+// Figures 1, 2a, 2b of the paper): the manually constructed decomposition
+// set S1 and the sets S2/S3 found by simulated annealing and tabu search,
+// with their predictive-function values.
+type A51Result struct {
+	// Scale echoes the experiment scale.
+	Scale Scale
+	// Instance is the (possibly weakened) cryptanalysis instance used.
+	Instance *encoder.Instance
+	// S1 is the manual set (register cells controlling the clocking), the
+	// analogue of the paper's hand-built S1 from [17].
+	S1 SetReport
+	// S2 is the set found by simulated annealing (Figure 2a).
+	S2 SetReport
+	// S3 is the set found by tabu search (Figure 2b).
+	S3 SetReport
+	// SAEvaluations and TabuEvaluations count the predictive-function
+	// evaluations spent by each search.
+	SAEvaluations   int
+	TabuEvaluations int
+}
+
+// SetReport describes one decomposition set and its estimate.
+type SetReport struct {
+	// Name labels the set (S1, S2, S3, ...).
+	Name string
+	// Vars is the decomposition set.
+	Vars []cnf.Var
+	// Power is |X̃|.
+	Power int
+	// F is the predictive-function value (1 CPU core, Scale.CostMetric units).
+	F float64
+}
+
+// A51Instance builds the scaled A5/1 cryptanalysis instance.
+func A51Instance(scale Scale, seed int64) (*encoder.Instance, error) {
+	return encoder.NewInstance(encoder.A51(), encoder.Config{
+		KeystreamLen: scale.A51Keystream,
+		KnownSuffix:  scale.A51Known,
+		Seed:         seed,
+	})
+}
+
+// knownStartVars returns the set of start variables fixed by the instance's
+// weakening (prefix and suffix).
+func knownStartVars(inst *encoder.Instance) map[cnf.Var]bool {
+	known := make(map[cnf.Var]bool)
+	n := len(inst.StartVars)
+	for i := 0; i < inst.KnownPrefix && i < n; i++ {
+		known[inst.StartVars[i]] = true
+	}
+	for i := n - inst.KnownSuffix; i < n; i++ {
+		if i >= 0 {
+			known[inst.StartVars[i]] = true
+		}
+	}
+	return known
+}
+
+// ManualA51Set returns the analogue of the paper's hand-built S1 set: the
+// register cells that control the irregular clocking (cells 0..8 of R1 and
+// 0..10 of R2 and R3), restricted to the variables that are unknown at the
+// given weakening.  On the full problem this set has exactly 31 variables,
+// the size reported in the paper.
+func ManualA51Set(inst *encoder.Instance) []cnf.Var {
+	unknown := make(map[cnf.Var]bool)
+	for _, v := range inst.UnknownStartVars() {
+		unknown[v] = true
+	}
+	var out []cnf.Var
+	add := func(v cnf.Var) {
+		if unknown[v] {
+			out = append(out, v)
+		}
+	}
+	// Start variables are laid out R1[0..18], R2[0..21], R3[0..22] in order.
+	for i := 0; i <= 8; i++ { // R1 clocking prefix
+		add(inst.StartVars[i])
+	}
+	for i := 0; i <= 10; i++ { // R2 clocking prefix
+		add(inst.StartVars[crypto.A51R1Len+i])
+	}
+	for i := 0; i <= 10; i++ { // R3 clocking prefix
+		add(inst.StartVars[crypto.A51R1Len+crypto.A51R2Len+i])
+	}
+	return out
+}
+
+// RunA51 performs the A5/1 study: estimate the manual set and search for
+// sets with both metaheuristics.
+func RunA51(ctx context.Context, scale Scale) (*A51Result, error) {
+	inst, err := A51Instance(scale, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &A51Result{Scale: scale, Instance: inst}
+
+	// Estimation engine with the larger sample.
+	estEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+		Runner: scale.runnerConfig(scale.EstimateSamples),
+		Search: scale.searchOptions(),
+		Cores:  scale.Cores,
+	})
+	if err != nil {
+		return nil, err
+	}
+	manual := ManualA51Set(inst)
+	manualEst, err := estEngine.EstimateSet(ctx, manual)
+	if err != nil {
+		return nil, err
+	}
+	res.S1 = SetReport{Name: "S1 (manual)", Vars: manualEst.Vars, Power: len(manualEst.Vars), F: manualEst.Estimate.Value}
+
+	// Search engine with the smaller per-point sample (the search visits
+	// many points).
+	searchEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+		Runner: scale.runnerConfig(scale.SearchSamples),
+		Search: scale.searchOptions(),
+		Cores:  scale.Cores,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sa, err := searchEngine.SearchSimulatedAnnealing(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.SAEvaluations = sa.Result.Evaluations
+	saEst, err := estEngine.EstimatePoint(ctx, sa.Result.BestPoint)
+	if err != nil {
+		return nil, err
+	}
+	res.S2 = SetReport{Name: "S2 (simulated annealing)", Vars: saEst.Vars, Power: len(saEst.Vars), F: saEst.Estimate.Value}
+
+	tabu, err := searchEngine.SearchTabu(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.TabuEvaluations = tabu.Result.Evaluations
+	tabuEst, err := estEngine.EstimatePoint(ctx, tabu.Result.BestPoint)
+	if err != nil {
+		return nil, err
+	}
+	res.S3 = SetReport{Name: "S3 (tabu search)", Vars: tabuEst.Vars, Power: len(tabuEst.Vars), F: tabuEst.Estimate.Value}
+	return res, nil
+}
+
+// Table1 renders the analogue of the paper's Table 1: the three A5/1
+// decomposition sets and their predictive-function values.
+func (r *A51Result) Table1() *Table {
+	t := &Table{
+		Title:  "Table 1 — decomposition sets for logical cryptanalysis of A5/1 and values of the predictive function",
+		Header: []string{"Set", "Power of set", "F(.) [" + r.Scale.CostUnit() + "]"},
+		Notes: []string{
+			fmt.Sprintf("instance %s (%d unknown state bits), sample N=%d, scale %q",
+				r.Instance.Name, len(r.Instance.UnknownStartVars()), r.Scale.EstimateSamples, r.Scale.Name),
+			"the paper reports F in seconds on one core of the Matrosov cluster; here F counts deterministic solver effort",
+		},
+	}
+	for _, s := range []SetReport{r.S1, r.S2, r.S3} {
+		t.Rows = append(t.Rows, []string{s.Name, fmt.Sprintf("%d", s.Power), fmtF(s.F)})
+	}
+	return t
+}
+
+// Figure1 renders the analogue of Figure 1: the manual decomposition set S1
+// laid out over the three registers.
+func (r *A51Result) Figure1() *Table {
+	return a51SetFigure("Figure 1 — decomposition set S1 (manual, clocking-control cells)", r.Instance, r.S1.Vars, r.Scale)
+}
+
+// Figure2 renders the analogue of Figures 2a/2b: the decomposition sets
+// found by simulated annealing and tabu search.
+func (r *A51Result) Figure2() *Table {
+	t := a51SetFigure("Figure 2a — decomposition set S2 found by simulated annealing", r.Instance, r.S2.Vars, r.Scale)
+	t2 := a51SetFigure("Figure 2b — decomposition set S3 found by tabu search", r.Instance, r.S3.Vars, r.Scale)
+	t.Rows = append(t.Rows, []string{"", "", ""})
+	t.Rows = append(t.Rows, [][]string{{t2.Title, "", ""}}...)
+	t.Rows = append(t.Rows, t2.Rows...)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("simulated annealing evaluated %d points, tabu search %d points", r.SAEvaluations, r.TabuEvaluations))
+	return t
+}
+
+// a51SetFigure renders one decomposition set register by register, marking
+// selected cells (the textual equivalent of the paper's register diagrams).
+func a51SetFigure(title string, inst *encoder.Instance, vars []cnf.Var, scale Scale) *Table {
+	selected := make(map[cnf.Var]bool, len(vars))
+	for _, v := range vars {
+		selected[v] = true
+	}
+	known := knownStartVars(inst)
+	regs := []struct {
+		name   string
+		offset int
+		length int
+	}{
+		{"R1 (19 cells)", 0, crypto.A51R1Len},
+		{"R2 (22 cells)", crypto.A51R1Len, crypto.A51R2Len},
+		{"R3 (23 cells)", crypto.A51R1Len + crypto.A51R2Len, crypto.A51R3Len},
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"Register", "Cells (X = in set, k = known, . = free)", "Selected"},
+		Notes: []string{
+			fmt.Sprintf("|set| = %d of %d unknown state bits (scale %q)", len(vars), len(inst.UnknownStartVars()), scale.Name),
+		},
+	}
+	for _, reg := range regs {
+		var sb strings.Builder
+		count := 0
+		for i := 0; i < reg.length; i++ {
+			v := inst.StartVars[reg.offset+i]
+			switch {
+			case selected[v]:
+				sb.WriteByte('X')
+				count++
+			case known[v]:
+				sb.WriteByte('k')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		t.Rows = append(t.Rows, []string{reg.name, sb.String(), fmt.Sprintf("%d", count)})
+	}
+	return t
+}

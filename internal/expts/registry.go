@@ -1,0 +1,171 @@
+package expts
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable experiment of the paper's evaluation section.
+type Experiment struct {
+	// ID is the short identifier used on the command line and in
+	// EXPERIMENTS.md ("table1", "fig3", ...).
+	ID string
+	// Paper names the table or figure of the paper being reproduced.
+	Paper string
+	// Description summarizes what is measured.
+	Description string
+	// Run executes the experiment and returns the rendered tables.
+	Run func(ctx context.Context, scale Scale) ([]*Table, error)
+}
+
+// Experiments returns the registry of all experiments, sorted by ID.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{
+			ID:          "table1",
+			Paper:       "Table 1",
+			Description: "A5/1: predictive-function values of the manual set S1 and the sets found by simulated annealing (S2) and tabu search (S3)",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunA51(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Table1()}, nil
+			},
+		},
+		{
+			ID:          "fig1",
+			Paper:       "Figure 1",
+			Description: "A5/1: the manual decomposition set S1 laid out over the three registers",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				inst, err := A51Instance(scale, scale.Seed)
+				if err != nil {
+					return nil, err
+				}
+				vars := ManualA51Set(inst)
+				return []*Table{a51SetFigure("Figure 1 — decomposition set S1 (manual, clocking-control cells)", inst, vars, scale)}, nil
+			},
+		},
+		{
+			ID:          "fig2",
+			Paper:       "Figures 2a/2b",
+			Description: "A5/1: decomposition sets found by simulated annealing and tabu search",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunA51(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Figure2()}, nil
+			},
+		},
+		{
+			ID:          "table2",
+			Paper:       "Table 2",
+			Description: "Bivium: time estimations from a fixed strategy, a solver-activity set and the PDSAT tabu search",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunBivium(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Table2()}, nil
+			},
+		},
+		{
+			ID:          "fig3",
+			Paper:       "Figure 3",
+			Description: "Bivium: decomposition set found by the tabu search, laid out over the two registers",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunBivium(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Figure3()}, nil
+			},
+		},
+		{
+			ID:          "fig4",
+			Paper:       "Figure 4",
+			Description: "Grain: decomposition set found by the tabu search and its NFSR/LFSR split",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunGrain(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Figure4()}, nil
+			},
+		},
+		{
+			ID:          "table3",
+			Paper:       "Table 3",
+			Description: "Weakened BiviumK/GrainK problems: predicted vs. measured cost of processing whole decomposition families",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunTable3(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.Table3()}, nil
+			},
+		},
+		{
+			ID:          "mc-convergence",
+			Paper:       "Section 2 (eq. 2/3)",
+			Description: "Monte Carlo estimate vs. exhaustive family cost for growing sample sizes",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunConvergence(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.TableConvergence()}, nil
+			},
+		},
+		{
+			ID:          "sa-vs-tabu",
+			Paper:       "Section 4.3 (remark)",
+			Description: "Simulated annealing vs. tabu search under an equal evaluation budget",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunSAvsTabu(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.TableSAvsTabu()}, nil
+			},
+		},
+		{
+			ID:          "portfolio-vs-partitioning",
+			Paper:       "Section 1 (context)",
+			Description: "Portfolio approach vs. partitioning approach on the same weakened A5/1 instance",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunPortfolioVsPartitioning(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.TablePortfolio()}, nil
+			},
+		},
+		{
+			ID:          "solver-ablation",
+			Paper:       "DESIGN.md (design choices)",
+			Description: "CDCL configuration ablation on sampled subproblems",
+			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
+				r, err := RunSolverAblation(ctx, scale)
+				if err != nil {
+					return nil, err
+				}
+				return []*Table{r.TableAblation()}, nil
+			},
+		},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// FindExperiment returns the experiment with the given ID.
+func FindExperiment(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("expts: unknown experiment %q", id)
+}

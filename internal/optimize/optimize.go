@@ -1,0 +1,545 @@
+// Package optimize implements the two metaheuristic minimizers of the
+// predictive function described in Section 3 of the paper: simulated
+// annealing (Algorithm 1) and tabu search (Algorithm 2).
+//
+// Both algorithms move between points χ of a finite search space (subsets of
+// the starting decomposition set, see package decomp), evaluating the
+// predictive function F(χ) through an Objective.  Because a single
+// evaluation is expensive (it solves a random sample of subproblems), both
+// algorithms cache values of already-visited points; the tabu search
+// additionally maintains the two tabu lists L1 (points with fully checked
+// neighbourhoods) and L2 (checked points with unchecked neighbourhoods) and
+// uses the accumulated conflict activity of variables to choose a new
+// neighbourhood centre when the current one is exhausted.
+package optimize
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/decomp"
+)
+
+// Objective computes the predictive function value at a point of the search
+// space.  Implementations are typically backed by a pdsat.Runner.
+type Objective interface {
+	Evaluate(ctx context.Context, p decomp.Point) (float64, error)
+}
+
+// ObjectiveFunc adapts a function to the Objective interface.
+type ObjectiveFunc func(ctx context.Context, p decomp.Point) (float64, error)
+
+// Evaluate implements Objective.
+func (f ObjectiveFunc) Evaluate(ctx context.Context, p decomp.Point) (float64, error) {
+	return f(ctx, p)
+}
+
+// ActivitySource exposes per-variable conflict activity.  When the objective
+// also implements this interface, the tabu search uses it for the
+// getNewCenter heuristic of the paper ("the point for which the total
+// conflict activity of Boolean variables contained in the corresponding
+// decomposition set is the largest").
+type ActivitySource interface {
+	VarActivity(v cnf.Var) float64
+}
+
+// Options configure both minimizers; the zero value is completed with
+// DefaultOptions values.
+type Options struct {
+	// Radius is the neighbourhood radius ρ (1 in all the paper's
+	// experiments).
+	Radius int
+	// MaxRadius bounds the radius growth of simulated annealing when a
+	// neighbourhood is exhausted without an accepted point.
+	MaxRadius int
+	// MaxEvaluations bounds the number of objective evaluations (cache hits
+	// do not count).  Zero means unlimited.
+	MaxEvaluations int
+	// MaxTime bounds the wall-clock duration of the search (the
+	// timeExceeded() predicate of the pseudocode).  Zero means unlimited.
+	MaxTime time.Duration
+	// Seed drives point selection and the stochastic acceptance rule.
+	Seed int64
+
+	// InitialTemperature is T0 of the simulated annealing.
+	InitialTemperature float64
+	// CoolingFactor is Q: T_i = Q·T_{i-1}, Q ∈ (0,1).
+	CoolingFactor float64
+	// MinTemperature is T_inf; the annealing stops when the temperature
+	// drops below it.
+	MinTemperature float64
+}
+
+// DefaultOptions returns the options used when fields are left zero.
+func DefaultOptions() Options {
+	return Options{
+		Radius:             1,
+		MaxRadius:          3,
+		MaxEvaluations:     0,
+		MaxTime:            0,
+		Seed:               1,
+		InitialTemperature: 0, // 0 = derive from the start value
+		CoolingFactor:      0.98,
+		MinTemperature:     1e-6,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.Radius <= 0 {
+		o.Radius = def.Radius
+	}
+	if o.MaxRadius < o.Radius {
+		o.MaxRadius = o.Radius + 2
+	}
+	if o.CoolingFactor <= 0 || o.CoolingFactor >= 1 {
+		o.CoolingFactor = def.CoolingFactor
+	}
+	if o.MinTemperature <= 0 {
+		o.MinTemperature = def.MinTemperature
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	return o
+}
+
+// StopReason describes why a search terminated.
+type StopReason string
+
+// Possible stop reasons.
+const (
+	StopTime         StopReason = "time limit"
+	StopEvaluations  StopReason = "evaluation budget"
+	StopTemperature  StopReason = "temperature limit"
+	StopExhausted    StopReason = "search space exhausted"
+	StopContext      StopReason = "context cancelled"
+	StopNoImprovment StopReason = "no unchecked points"
+)
+
+// Visit records one objective evaluation.
+type Visit struct {
+	// Index is the evaluation number (0-based, cache hits excluded).
+	Index int
+	// Point is the evaluated point.
+	Point decomp.Point
+	// Value is F(point).
+	Value float64
+	// Accepted reports whether the point became the new centre.
+	Accepted bool
+	// Improved reports whether the point improved the best known value.
+	Improved bool
+}
+
+// Result is the outcome of a minimization run.
+type Result struct {
+	// BestPoint is the best decomposition set found.
+	BestPoint decomp.Point
+	// BestValue is F(BestPoint).
+	BestValue float64
+	// Evaluations is the number of objective evaluations performed.
+	Evaluations int
+	// Trace records every evaluation in order.
+	Trace []Visit
+	// Stop is the reason the search ended.
+	Stop StopReason
+	// WallTime is the elapsed time of the search.
+	WallTime time.Duration
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("best F=%.6g with d=%d after %d evaluations (%s)",
+		r.BestValue, r.BestPoint.Count(), r.Evaluations, r.Stop)
+}
+
+// search bundles state shared by both algorithms.
+type search struct {
+	obj     Objective
+	opts    Options
+	rng     *rand.Rand
+	start   time.Time
+	values  map[string]float64
+	points  map[string]decomp.Point
+	evals   int
+	trace   []Visit
+	stopped StopReason
+}
+
+func newSearch(obj Objective, opts Options) *search {
+	return &search{
+		obj:    obj,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		start:  time.Now(),
+		values: make(map[string]float64),
+		points: make(map[string]decomp.Point),
+	}
+}
+
+var errStop = errors.New("optimize: stop")
+
+// evaluate returns F(p), consulting the cache first.  The second result
+// reports whether a fresh objective evaluation was performed.
+func (s *search) evaluate(ctx context.Context, p decomp.Point) (float64, bool, error) {
+	key := p.Key()
+	if v, ok := s.values[key]; ok {
+		return v, false, nil
+	}
+	if err := s.checkBudgets(ctx); err != nil {
+		return 0, false, err
+	}
+	v, err := s.obj.Evaluate(ctx, p)
+	if err != nil {
+		return 0, false, err
+	}
+	s.values[key] = v
+	s.points[key] = p
+	s.evals++
+	return v, true, nil
+}
+
+// checkBudgets returns errStop (after recording the reason) if a budget is
+// exhausted.
+func (s *search) checkBudgets(ctx context.Context) error {
+	if ctx.Err() != nil {
+		s.stopped = StopContext
+		return errStop
+	}
+	if s.opts.MaxEvaluations > 0 && s.evals >= s.opts.MaxEvaluations {
+		s.stopped = StopEvaluations
+		return errStop
+	}
+	if s.opts.MaxTime > 0 && time.Since(s.start) >= s.opts.MaxTime {
+		s.stopped = StopTime
+		return errStop
+	}
+	return nil
+}
+
+func (s *search) record(p decomp.Point, value float64, accepted, improved bool) {
+	s.trace = append(s.trace, Visit{
+		Index:    len(s.trace),
+		Point:    p,
+		Value:    value,
+		Accepted: accepted,
+		Improved: improved,
+	})
+}
+
+func (s *search) result(best decomp.Point, bestValue float64) *Result {
+	if s.stopped == "" {
+		s.stopped = StopExhausted
+	}
+	return &Result{
+		BestPoint:   best,
+		BestValue:   bestValue,
+		Evaluations: s.evals,
+		Trace:       s.trace,
+		Stop:        s.stopped,
+		WallTime:    time.Since(s.start),
+	}
+}
+
+// pickUnchecked returns a pseudo-random element of candidates whose key is
+// not in the checked set, or false if none remain.
+func (s *search) pickUnchecked(candidates []decomp.Point, checked map[string]bool) (decomp.Point, bool) {
+	unchecked := make([]decomp.Point, 0, len(candidates))
+	for _, c := range candidates {
+		if !checked[c.Key()] {
+			unchecked = append(unchecked, c)
+		}
+	}
+	if len(unchecked) == 0 {
+		return decomp.Point{}, false
+	}
+	return unchecked[s.rng.Intn(len(unchecked))], true
+}
+
+// SimulatedAnnealing minimizes the objective starting from the given point,
+// following Algorithm 1 of the paper.  The returned result always reports
+// the best point seen over the whole run (the pseudocode's χ_best tracks the
+// accepted centre; we additionally remember the global minimum, which is
+// what a user of the partitioning actually wants).
+func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	s := newSearch(obj, opts)
+
+	centerValue, _, err := s.evaluate(ctx, start)
+	if err != nil {
+		if errors.Is(err, errStop) {
+			return s.result(start, math.Inf(1)), nil
+		}
+		return nil, err
+	}
+	s.record(start, centerValue, true, true)
+	center, best, bestValue := start, start, centerValue
+
+	temperature := opts.InitialTemperature
+	if temperature <= 0 {
+		// A temperature of the order of the start value accepts moderate
+		// degradations early on, which matches the usual SA practice when no
+		// scale is given.
+		temperature = math.Max(centerValue*0.1, 1)
+	}
+
+	for {
+		if err := s.checkBudgets(ctx); err != nil {
+			return s.result(best, bestValue), nil
+		}
+		if temperature < opts.MinTemperature {
+			s.stopped = StopTemperature
+			return s.result(best, bestValue), nil
+		}
+
+		bestValueUpdated := false
+		radius := opts.Radius
+		checked := map[string]bool{center.Key(): true}
+		for !bestValueUpdated {
+			neighborhood := center.Neighbors(radius)
+			chi, ok := s.pickUnchecked(neighborhood, checked)
+			if !ok {
+				// Neighbourhood exhausted at this radius.
+				if radius < opts.MaxRadius {
+					radius++
+					continue
+				}
+				s.stopped = StopNoImprovment
+				return s.result(best, bestValue), nil
+			}
+			value, _, err := s.evaluate(ctx, chi)
+			if err != nil {
+				if errors.Is(err, errStop) {
+					return s.result(best, bestValue), nil
+				}
+				return nil, err
+			}
+			checked[chi.Key()] = true
+
+			accepted := s.pointAccepted(value, centerValue, temperature)
+			improved := value < bestValue
+			s.record(chi, value, accepted, improved)
+			if accepted {
+				center, centerValue = chi, value
+				if improved {
+					best, bestValue = chi, value
+				}
+				bestValueUpdated = true
+			}
+			if allChecked(neighborhood, checked) && !bestValueUpdated {
+				radius++
+				if radius > opts.MaxRadius {
+					s.stopped = StopNoImprovment
+					return s.result(best, bestValue), nil
+				}
+			}
+			temperature *= opts.CoolingFactor
+			if temperature < opts.MinTemperature {
+				s.stopped = StopTemperature
+				return s.result(best, bestValue), nil
+			}
+			if err := s.checkBudgets(ctx); err != nil {
+				return s.result(best, bestValue), nil
+			}
+		}
+	}
+}
+
+// pointAccepted implements the acceptance rule of Algorithm 1.
+func (s *search) pointAccepted(candidate, current, temperature float64) bool {
+	if candidate < current {
+		return true
+	}
+	if temperature <= 0 {
+		return false
+	}
+	p := math.Exp(-(candidate - current) / temperature)
+	return s.rng.Float64() < p
+}
+
+func allChecked(points []decomp.Point, checked map[string]bool) bool {
+	for _, p := range points {
+		if !checked[p.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// TabuSearch minimizes the objective starting from the given point,
+// following Algorithm 2 of the paper.  L1 holds points whose whole
+// neighbourhood has been checked, L2 holds checked points with unchecked
+// neighbourhoods; when the current neighbourhood yields no improvement the
+// next centre is the L2 point with the largest total conflict activity of
+// its decomposition set (falling back to the best F value when the
+// objective provides no activity information).
+func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	s := newSearch(obj, opts)
+
+	startValue, _, err := s.evaluate(ctx, start)
+	if err != nil {
+		if errors.Is(err, errStop) {
+			return s.result(start, math.Inf(1)), nil
+		}
+		return nil, err
+	}
+	s.record(start, startValue, true, true)
+
+	tl := newTabuLists(opts.Radius)
+	tl.addChecked(start, startValue, s.values)
+
+	center, best, bestValue := start, start, startValue
+
+	for {
+		if err := s.checkBudgets(ctx); err != nil {
+			return s.result(best, bestValue), nil
+		}
+		bestValueUpdated := false
+		neighborhood := center.Neighbors(opts.Radius)
+		for {
+			chi, ok := s.pickUncheckedTabu(neighborhood)
+			if !ok {
+				break // neighbourhood of the centre fully checked
+			}
+			value, fresh, err := s.evaluate(ctx, chi)
+			if err != nil {
+				if errors.Is(err, errStop) {
+					return s.result(best, bestValue), nil
+				}
+				return nil, err
+			}
+			if fresh {
+				tl.addChecked(chi, value, s.values)
+			}
+			improved := value < bestValue
+			s.record(chi, value, improved, improved)
+			if improved {
+				best, bestValue = chi, value
+				bestValueUpdated = true
+			}
+			if err := s.checkBudgets(ctx); err != nil {
+				return s.result(best, bestValue), nil
+			}
+		}
+		if bestValueUpdated {
+			center = best
+			continue
+		}
+		next, ok := tl.getNewCenter(s.obj)
+		if !ok {
+			s.stopped = StopExhausted
+			return s.result(best, bestValue), nil
+		}
+		center = next
+	}
+}
+
+// pickUncheckedTabu returns a pseudo-random neighbourhood point that has not
+// been evaluated yet (the tabu lists make "checked anywhere" equivalent to
+// "has a cached value").
+func (s *search) pickUncheckedTabu(candidates []decomp.Point) (decomp.Point, bool) {
+	unchecked := make([]decomp.Point, 0, len(candidates))
+	for _, c := range candidates {
+		if _, seen := s.values[c.Key()]; !seen {
+			unchecked = append(unchecked, c)
+		}
+	}
+	if len(unchecked) == 0 {
+		return decomp.Point{}, false
+	}
+	return unchecked[s.rng.Intn(len(unchecked))], true
+}
+
+// tabuLists implements the L1/L2 bookkeeping of Algorithm 2.
+type tabuLists struct {
+	radius int
+	// l2 maps point keys to entries with unchecked neighbourhoods.
+	l2 map[string]*tabuEntry
+	// l1 maps point keys to entries whose neighbourhood is fully checked.
+	l1 map[string]*tabuEntry
+}
+
+type tabuEntry struct {
+	point     decomp.Point
+	value     float64
+	unchecked int // number of neighbours not yet evaluated
+}
+
+func newTabuLists(radius int) *tabuLists {
+	return &tabuLists{
+		radius: radius,
+		l2:     make(map[string]*tabuEntry),
+		l1:     make(map[string]*tabuEntry),
+	}
+}
+
+// addChecked registers a newly evaluated point: it joins L2 (or directly L1
+// if its neighbourhood happens to be fully evaluated already) and the
+// unchecked counters of all neighbouring L2 entries are decreased, moving
+// entries whose neighbourhood became fully checked into L1.  values is the
+// global cache of evaluated points (keyed like Point.Key).
+func (t *tabuLists) addChecked(p decomp.Point, value float64, values map[string]float64) {
+	neighbors := p.Neighbors(t.radius)
+	unchecked := 0
+	for _, n := range neighbors {
+		if _, ok := values[n.Key()]; !ok {
+			unchecked++
+		}
+	}
+	e := &tabuEntry{point: p, value: value, unchecked: unchecked}
+	if unchecked == 0 {
+		t.l1[p.Key()] = e
+	} else {
+		t.l2[p.Key()] = e
+	}
+	// The new point is now checked: update neighbours that live in L2.
+	for _, n := range neighbors {
+		key := n.Key()
+		if other, ok := t.l2[key]; ok {
+			other.unchecked--
+			if other.unchecked <= 0 {
+				delete(t.l2, key)
+				t.l1[key] = other
+			}
+		}
+	}
+}
+
+// getNewCenter implements the heuristic of the paper: among L2 points pick
+// the one whose decomposition set has the largest total conflict activity;
+// objectives without activity information fall back to the smallest F value.
+func (t *tabuLists) getNewCenter(obj Objective) (decomp.Point, bool) {
+	if len(t.l2) == 0 {
+		return decomp.Point{}, false
+	}
+	src, hasActivity := obj.(ActivitySource)
+	var bestKey string
+	var bestScore float64
+	first := true
+	for key, e := range t.l2 {
+		var score float64
+		if hasActivity {
+			for _, v := range e.point.Vars() {
+				score += src.VarActivity(v)
+			}
+		} else {
+			score = -e.value // smaller F = larger score
+		}
+		if first || score > bestScore || (score == bestScore && key < bestKey) {
+			bestKey, bestScore, first = key, score, false
+		}
+	}
+	return t.l2[bestKey].point, true
+}
+
+// L1Size and L2Size expose the tabu list sizes (used in tests).
+func (t *tabuLists) L1Size() int { return len(t.l1) }
+
+// L2Size returns the number of checked points with unchecked neighbourhoods.
+func (t *tabuLists) L2Size() int { return len(t.l2) }

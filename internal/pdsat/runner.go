@@ -1,0 +1,461 @@
+// Package pdsat reproduces the leader/worker architecture of the MPI program
+// PDSAT used in the paper's experiments, on top of goroutines.
+//
+// The Runner has two modes, mirroring the paper:
+//
+//   - Estimation mode (EvaluatePoint): for a decomposition set X̃ the leader
+//     draws a random sample of N assignments of X̃, the workers solve the
+//     induced subproblems C[X̃/α] with a fresh deterministic CDCL solver
+//     each, and the observed costs are combined into the predictive-function
+//     value F = 2^d · mean (montecarlo.Estimate).  Per-variable conflict
+//     activity is accumulated across the sample; the tabu search uses it to
+//     pick new neighbourhood centres.
+//
+//   - Solving mode (Solve): all 2^d assignments of X̃ are enumerated and the
+//     corresponding subproblems are solved, optionally stopping at the first
+//     satisfiable one.  Workers honour interruption, like the modified
+//     MiniSat of the paper that stops on non-blocking messages from the
+//     leader.
+//
+// The predictive value is always computed for one CPU core; extrapolation to
+// k cores is a division (montecarlo.ExtrapolateCores), justified by the
+// independence of the subproblems.
+package pdsat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/decomp"
+	"repro/internal/montecarlo"
+	"repro/internal/solver"
+)
+
+// Config configures a Runner.
+type Config struct {
+	// SampleSize is N, the number of random subproblems per predictive
+	// function evaluation.
+	SampleSize int
+	// Workers is the number of computing processes (goroutines).  Zero
+	// means GOMAXPROCS.
+	Workers int
+	// Seed drives the random samples.
+	Seed int64
+	// CostMetric selects the cost unit ζ (conflicts by default; wall time
+	// reproduces the paper's setup).
+	CostMetric solver.CostMetric
+	// SolverOptions configures the per-subproblem CDCL solver.
+	SolverOptions solver.Options
+	// SubproblemBudget bounds the effort spent on a single subproblem
+	// (useful as a safety net during estimation of very bad points).
+	SubproblemBudget solver.Budget
+}
+
+// DefaultConfig returns a configuration suitable for the scaled-down
+// experiments: N=100 samples, conflicts as cost, all cores.
+func DefaultConfig() Config {
+	return Config{
+		SampleSize:    100,
+		Workers:       runtime.GOMAXPROCS(0),
+		Seed:          1,
+		CostMetric:    solver.CostConflicts,
+		SolverOptions: solver.DefaultOptions(),
+	}
+}
+
+// Runner evaluates predictive functions and processes decomposition families
+// for one SAT instance.
+type Runner struct {
+	formula *cnf.Formula
+	cfg     Config
+
+	mu sync.Mutex
+	// confAct accumulates per-variable conflict activity over every
+	// subproblem solved by this runner (indexed by cnf.Var).
+	confAct []float64
+	// evaluations counts predictive-function evaluations.
+	evaluations int
+	// subproblemsSolved counts individual subproblem solves.
+	subproblemsSolved int
+}
+
+// NewRunner creates a runner for the formula.
+func NewRunner(f *cnf.Formula, cfg Config) *Runner {
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = DefaultConfig().SampleSize
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SolverOptions.VarDecay == 0 {
+		cfg.SolverOptions = solver.DefaultOptions()
+	}
+	return &Runner{
+		formula: f,
+		cfg:     cfg,
+		confAct: make([]float64, f.NumVars+1),
+	}
+}
+
+// Formula returns the underlying formula.
+func (r *Runner) Formula() *cnf.Formula { return r.formula }
+
+// Config returns the runner configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Evaluations returns the number of predictive-function evaluations so far.
+func (r *Runner) Evaluations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evaluations
+}
+
+// SubproblemsSolved returns the number of subproblems solved so far.
+func (r *Runner) SubproblemsSolved() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subproblemsSolved
+}
+
+// VarActivity returns the cumulative conflict activity of a variable over
+// all subproblems solved so far.  It implements the activity source used by
+// the tabu search's getNewCenter heuristic.
+func (r *Runner) VarActivity(v cnf.Var) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(v) <= 0 || int(v) >= len(r.confAct) {
+		return 0
+	}
+	return r.confAct[v]
+}
+
+// PointEstimate is the result of one predictive-function evaluation.
+type PointEstimate struct {
+	// Point is the evaluated decomposition set.
+	Point decomp.Point
+	// Estimate is the Monte Carlo estimate (mean, F value, etc.).
+	Estimate montecarlo.Estimate
+	// Sample holds the raw observed costs.
+	Sample *montecarlo.Sample
+	// SatisfiableSamples counts how many sampled subproblems were SAT.
+	SatisfiableSamples int
+	// WallTime is the elapsed wall-clock time of the evaluation.
+	WallTime time.Duration
+}
+
+// task is one subproblem to solve.
+type task struct {
+	index       int
+	assumptions []cnf.Lit
+}
+
+// taskResult is the outcome of one subproblem solve.
+type taskResult struct {
+	index   int
+	cost    float64
+	status  solver.Status
+	model   cnf.Assignment
+	actVars []float64 // conflict activity contribution, indexed by cnf.Var
+	stats   solver.Stats
+}
+
+// EvaluatePoint computes the predictive function F at the decomposition set
+// given by the point, using the runner's sample size and worker pool.  The
+// evaluation is deterministic for a fixed configuration when the cost metric
+// is deterministic: the sample depends only on (Seed, evaluation counter) and
+// each subproblem is solved by a fresh solver.
+func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstimate, error) {
+	if p.Count() == 0 {
+		return nil, errors.New("pdsat: empty decomposition set")
+	}
+	start := time.Now()
+	r.mu.Lock()
+	evalIndex := r.evaluations
+	r.evaluations++
+	r.mu.Unlock()
+
+	fam := decomp.FamilyOf(r.formula, p)
+	// Derive a per-evaluation RNG so evaluation results do not depend on the
+	// order in which the optimizer visits points.
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(evalIndex)*0x5851f42d4c957f2d))
+	d := fam.Dimension()
+	n := r.cfg.SampleSize
+
+	tasks := make([]task, n)
+	for i := 0; i < n; i++ {
+		alpha := fam.RandomAssignment(rng)
+		assumptions, err := fam.AssumptionsForBits(alpha)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = task{index: i, assumptions: assumptions}
+	}
+
+	results, err := r.runTasks(ctx, tasks, false)
+	if err != nil {
+		return nil, err
+	}
+
+	costs := make([]float64, n)
+	satCount := 0
+	for _, res := range results {
+		costs[res.index] = res.cost
+		if res.status == solver.Sat {
+			satCount++
+		}
+	}
+	r.absorbActivities(results)
+
+	sample := montecarlo.NewSample(costs)
+	est := montecarlo.NewEstimate(d, sample)
+	return &PointEstimate{
+		Point:              p,
+		Estimate:           est,
+		Sample:             sample,
+		SatisfiableSamples: satCount,
+		WallTime:           time.Since(start),
+	}, nil
+}
+
+// Evaluate implements the optimizer objective: it returns the predictive
+// function value F(χ) at the point.
+func (r *Runner) Evaluate(ctx context.Context, p decomp.Point) (float64, error) {
+	est, err := r.EvaluatePoint(ctx, p)
+	if err != nil {
+		return 0, err
+	}
+	return est.Estimate.Value, nil
+}
+
+// absorbActivities adds the per-task conflict activities into the runner's
+// cumulative table, in task order for determinism.
+func (r *Runner) absorbActivities(results []taskResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, res := range results {
+		for v := 1; v < len(res.actVars) && v < len(r.confAct); v++ {
+			r.confAct[v] += res.actVars[v]
+		}
+		r.subproblemsSolved++
+	}
+}
+
+// runTasks distributes tasks over the worker pool and collects results in
+// task-index order.  If stopOnSat is true the remaining work is cancelled as
+// soon as one subproblem is satisfiable.
+func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]taskResult, error) {
+	workers := r.cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	taskCh := make(chan task)
+	// Both the producer (for cancelled tasks) and the workers may emit a
+	// result for the same index, so size the channel for the worst case to
+	// keep every send non-blocking once the collector stops reading.
+	resCh := make(chan taskResult, 2*len(tasks)+workers)
+	innerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				if innerCtx.Err() != nil {
+					resCh <- taskResult{index: t.index, status: solver.Unknown}
+					continue
+				}
+				resCh <- r.solveTask(innerCtx, t)
+			}
+		}()
+	}
+
+	go func() {
+		defer close(taskCh)
+		for _, t := range tasks {
+			select {
+			case taskCh <- t:
+			case <-innerCtx.Done():
+				// Drain remaining tasks as cancelled results so indices stay
+				// complete.
+				resCh <- taskResult{index: t.index, status: solver.Unknown}
+			}
+		}
+	}()
+
+	results := make([]taskResult, 0, len(tasks))
+	collected := make(map[int]bool, len(tasks))
+	for len(results) < len(tasks) {
+		res := <-resCh
+		if collected[res.index] {
+			continue
+		}
+		collected[res.index] = true
+		results = append(results, res)
+		if stopOnSat && res.status == solver.Sat {
+			cancel()
+		}
+	}
+	wg.Wait()
+	close(resCh)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// solveTask solves one subproblem with a fresh solver.  The reported cost is
+// the solver's lifetime effort — construction-time (root-level) propagation
+// plus the search under the assumptions — because each member of a
+// decomposition family is conceptually solved from scratch, exactly as the
+// paper's modified MiniSat re-reads C[X̃/α] for every subproblem.  Counting
+// only the post-assumption search would report zero cost for subproblems
+// already decided by root propagation.
+func (r *Runner) solveTask(ctx context.Context, t task) taskResult {
+	start := time.Now()
+	s := solver.New(r.formula, r.cfg.SolverOptions)
+	s.SetBudget(r.cfg.SubproblemBudget)
+	done := make(chan struct{})
+	var res solver.Result
+	go func() {
+		res = s.SolveWithAssumptions(t.assumptions)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.Interrupt()
+		<-done
+	}
+	lifetime := s.Stats()
+	lifetime.SolveTime = time.Since(start)
+	return taskResult{
+		index:   t.index,
+		cost:    solver.EffortCost(lifetime, r.cfg.CostMetric),
+		status:  res.Status,
+		model:   res.Model,
+		actVars: s.ConflictActivities(),
+		stats:   res.Stats,
+	}
+}
+
+// SolveReport is the outcome of processing a whole decomposition family
+// (solving mode).
+type SolveReport struct {
+	// Point is the decomposition set used.
+	Point decomp.Point
+	// Processed is the number of subproblems solved.
+	Processed int
+	// TotalCost is the summed cost of all processed subproblems (1-core
+	// sequential cost, comparable with the predictive function value).
+	TotalCost float64
+	// CostToFirstSat is the summed cost of subproblems processed up to and
+	// including the first satisfiable one (in enumeration order); equal to
+	// TotalCost if no subproblem is satisfiable or StopOnSat was false and
+	// the family was processed completely.
+	CostToFirstSat float64
+	// FoundSat reports whether a satisfiable subproblem was found.
+	FoundSat bool
+	// Model is a model of the original formula if FoundSat.
+	Model cnf.Assignment
+	// SatIndex is the enumeration index of the first satisfiable
+	// subproblem, -1 if none.
+	SatIndex int64
+	// WallTime is the elapsed wall-clock time.
+	WallTime time.Duration
+	// Interrupted reports whether the run was cancelled before completion.
+	Interrupted bool
+}
+
+// SolveOptions configure the solving mode.
+type SolveOptions struct {
+	// StopOnSat stops processing as soon as one subproblem is satisfiable.
+	// The paper's validation runs process the whole family to gather
+	// statistics; key-recovery runs stop at the first hit.
+	StopOnSat bool
+	// MaxSubproblems bounds the number of processed subproblems (0 = all).
+	// Enumeration order is by increasing assignment index.
+	MaxSubproblems uint64
+}
+
+// Solve processes the decomposition family induced by the point: it
+// enumerates assignments of the decomposition set, solves every subproblem
+// and aggregates costs.  The decomposition set must be small enough to
+// enumerate (d < 63).
+func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (*SolveReport, error) {
+	if p.Count() == 0 {
+		return nil, errors.New("pdsat: empty decomposition set")
+	}
+	if p.Count() >= 63 {
+		return nil, fmt.Errorf("pdsat: decomposition set of size %d cannot be enumerated", p.Count())
+	}
+	start := time.Now()
+	fam := decomp.FamilyOf(r.formula, p)
+	total := fam.SizeUint()
+	if opts.MaxSubproblems > 0 && opts.MaxSubproblems < total {
+		total = opts.MaxSubproblems
+	}
+
+	tasks := make([]task, total)
+	for idx := uint64(0); idx < total; idx++ {
+		tasks[idx] = task{index: int(idx), assumptions: fam.AssumptionsFor(idx)}
+	}
+	results, err := r.runTasks(ctx, tasks, opts.StopOnSat)
+	interrupted := false
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			interrupted = true
+		} else {
+			return nil, err
+		}
+	}
+	r.absorbActivities(results)
+
+	report := &SolveReport{Point: p, SatIndex: -1}
+	// Aggregate in enumeration order for deterministic cost-to-first-SAT.
+	byIndex := make([]taskResult, len(tasks))
+	seen := make([]bool, len(tasks))
+	for _, res := range results {
+		byIndex[res.index] = res
+		seen[res.index] = true
+	}
+	for idx := range byIndex {
+		if !seen[idx] {
+			continue
+		}
+		res := byIndex[idx]
+		if res.status == solver.Unknown && res.stats.SolveTime == 0 {
+			// Cancelled before it started.
+			continue
+		}
+		report.Processed++
+		report.TotalCost += res.cost
+		if !report.FoundSat {
+			report.CostToFirstSat += res.cost
+			if res.status == solver.Sat {
+				report.FoundSat = true
+				report.Model = res.model
+				report.SatIndex = int64(idx)
+			}
+		}
+	}
+	report.WallTime = time.Since(start)
+	report.Interrupted = interrupted
+	return report, nil
+}
+
+// EstimateForCores converts a 1-core predictive value into the expected
+// processing time on the given number of cores.
+func EstimateForCores(value float64, cores int) float64 {
+	return montecarlo.ExtrapolateCores(value, cores)
+}

@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"repro/internal/cnf"
+)
+
+// DPLL is a tiny reference solver (plain Davis–Putnam–Logemann–Loveland with
+// unit propagation and no learning).  It is exponentially slower than the
+// CDCL solver and exists only to cross-check results on small formulas in
+// tests and property-based checks.
+type DPLL struct {
+	formula *cnf.Formula
+	// MaxNodes bounds the number of search nodes (0 = unlimited).
+	MaxNodes uint64
+	nodes    uint64
+}
+
+// NewDPLL creates a reference solver for f.
+func NewDPLL(f *cnf.Formula) *DPLL { return &DPLL{formula: f} }
+
+// Solve runs the reference search.  It returns Sat with a model, Unsat, or
+// Unknown if MaxNodes was exceeded.
+func (d *DPLL) Solve() Result {
+	d.nodes = 0
+	a := cnf.NewAssignment(d.formula.NumVars)
+	st, model := d.search(a)
+	res := Result{Status: st, Model: model}
+	res.Stats.Decisions = d.nodes
+	return res
+}
+
+func (d *DPLL) search(a cnf.Assignment) (Status, cnf.Assignment) {
+	d.nodes++
+	if d.MaxNodes > 0 && d.nodes > d.MaxNodes {
+		return Unknown, nil
+	}
+	prop, ok := d.formula.UnitPropagate(a)
+	if !ok {
+		return Unsat, nil
+	}
+	switch d.formula.Evaluate(prop) {
+	case cnf.True:
+		return Sat, completeModel(d.formula, prop)
+	case cnf.False:
+		return Unsat, nil
+	}
+	v := pickUnassigned(d.formula, prop)
+	if v == 0 {
+		// All clause variables assigned but formula not decided: cannot
+		// happen after propagation, but guard anyway.
+		return Unsat, nil
+	}
+	for _, val := range []cnf.Value{cnf.True, cnf.False} {
+		next := prop.Clone()
+		next.Set(v, val)
+		st, model := d.search(next)
+		switch st {
+		case Sat:
+			return Sat, model
+		case Unknown:
+			return Unknown, nil
+		}
+	}
+	return Unsat, nil
+}
+
+func pickUnassigned(f *cnf.Formula, a cnf.Assignment) cnf.Var {
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if a.LitValue(l) == cnf.True {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if a.LitValue(l) == cnf.Unassigned {
+				return l.Var()
+			}
+		}
+	}
+	return 0
+}
+
+func completeModel(f *cnf.Formula, a cnf.Assignment) cnf.Assignment {
+	m := a.Clone()
+	for len(m) <= f.NumVars {
+		m = append(m, cnf.Unassigned)
+	}
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		if m.Value(v) == cnf.Unassigned {
+			m.Set(v, cnf.False)
+		}
+	}
+	return m
+}

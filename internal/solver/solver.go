@@ -1,0 +1,1015 @@
+// Package solver implements a complete CDCL (conflict-driven clause
+// learning) SAT solver in the MiniSat tradition, plus a small reference DPLL
+// solver used for cross-checking.
+//
+// The solver is deterministic: given the same formula, the same assumptions
+// and the same options it always performs the same search, which is a
+// requirement of the Monte Carlo estimation method of Semenov & Zaikin (the
+// observed per-subproblem costs must be samples of a single well-defined
+// random variable).  All tie-breaking is by variable index; no randomized
+// decisions are made.
+//
+// Besides the usual machinery (two-watched-literal propagation, first-UIP
+// clause learning with minimization, VSIDS variable activities, phase
+// saving, Luby restarts, learned-clause database reduction, assumption
+// solving) the solver exposes per-variable conflict activity via
+// VarActivity, which the tabu-search heuristic of the paper uses to pick new
+// neighbourhood centres.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a solving attempt.
+type Status int
+
+// Possible solver outcomes.
+const (
+	// Unknown means the solver stopped before reaching a conclusion
+	// (budget exhausted or interrupted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was proved unsatisfiable.
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats holds counters accumulated during solving.
+type Stats struct {
+	Decisions    uint64
+	Propagations uint64
+	Conflicts    uint64
+	Restarts     uint64
+	Learned      uint64
+	Removed      uint64
+	MaxLevel     int
+	// SolveTime is the wall-clock duration of the last Solve call.
+	SolveTime time.Duration
+}
+
+// Options configure the solver.  The zero value is usable; DefaultOptions
+// fills in the standard parameters.
+type Options struct {
+	// VarDecay is the multiplicative decay of VSIDS activities (0,1).
+	VarDecay float64
+	// ClauseDecay is the multiplicative decay of clause activities (0,1).
+	ClauseDecay float64
+	// RestartBase is the Luby restart unit, in conflicts.
+	RestartBase uint64
+	// MaxLearnedFactor bounds the learned-clause database to
+	// MaxLearnedFactor * number of original clauses before reduction.
+	MaxLearnedFactor float64
+	// PhaseSaving enables progress saving of variable polarities.
+	PhaseSaving bool
+	// DefaultPhase is the polarity used for a variable that has never been
+	// assigned (false mimics MiniSat's default).
+	DefaultPhase bool
+	// MinimizeLearned enables self-subsumption minimization of learned
+	// clauses.
+	MinimizeLearned bool
+}
+
+// DefaultOptions returns the standard solver configuration.
+func DefaultOptions() Options {
+	return Options{
+		VarDecay:         0.95,
+		ClauseDecay:      0.999,
+		RestartBase:      100,
+		MaxLearnedFactor: 3.0,
+		PhaseSaving:      true,
+		DefaultPhase:     false,
+		MinimizeLearned:  true,
+	}
+}
+
+// Budget limits the effort of a single Solve call.  A zero field means
+// "unlimited".
+type Budget struct {
+	// MaxConflicts stops the search after this many conflicts.
+	MaxConflicts uint64
+	// MaxPropagations stops the search after this many propagations.
+	MaxPropagations uint64
+	// MaxTime stops the search after this wall-clock duration.
+	MaxTime time.Duration
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	// Model is a satisfying assignment (indexed by cnf.Var) when Status==Sat.
+	Model cnf.Assignment
+	// Stats are the statistics accumulated during this call.
+	Stats Stats
+	// Interrupted reports whether the call ended because Interrupt was
+	// called or the budget was exhausted.
+	Interrupted bool
+}
+
+// internal literal encoding: variable v (0-based) has literals 2v (positive)
+// and 2v+1 (negative).
+type ilit int32
+
+func mkLit(v int32, positive bool) ilit {
+	if positive {
+		return ilit(v << 1)
+	}
+	return ilit(v<<1 | 1)
+}
+
+func (l ilit) ivar() int32 { return int32(l) >> 1 }
+func (l ilit) sign() bool  { return l&1 == 1 } // true => negative literal
+func (l ilit) neg() ilit   { return l ^ 1 }
+func (l ilit) external() cnf.Lit {
+	v := cnf.Var(l.ivar() + 1)
+	return cnf.NewLit(v, !l.sign())
+}
+
+func fromExternal(l cnf.Lit) ilit {
+	return mkLit(int32(l.Var()-1), l.Positive())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits     []ilit
+	learned  bool
+	activity float64
+	lbd      int
+}
+
+type watcher struct {
+	c       *clause
+	blocker ilit
+}
+
+type varOrder struct {
+	heap     []int32 // binary heap of variable indices
+	indices  []int32 // position of variable in heap, -1 if absent
+	activity *[]float64
+}
+
+// Solver is a CDCL SAT solver.  It is not safe for concurrent use; create
+// one solver per goroutine.
+type Solver struct {
+	opts Options
+
+	numVars   int32
+	clauses   []*clause // original clauses
+	learnts   []*clause // learned clauses
+	watches   [][]watcher
+	assigns   []lbool
+	polarity  []bool // saved phases
+	reason    []*clause
+	level     []int32
+	trail     []ilit
+	trailLim  []int32
+	qhead     int
+	order     varOrder
+	activity  []float64 // VSIDS activity, indexed by internal variable
+	confAct   []float64 // cumulative conflict activity (never decayed), per variable
+	varInc    float64
+	clauseInc float64
+
+	seen []bool
+
+	okay bool // false once a top-level conflict has been found
+
+	stats     Stats
+	budget    Budget
+	interrupt atomic.Bool
+	startTime time.Time
+	deadline  time.Time
+}
+
+// New creates a solver for the given formula.  The formula is copied into
+// the solver's internal representation; it is not modified and may be reused
+// to create further solvers.
+func New(f *cnf.Formula, opts Options) *Solver {
+	if opts.VarDecay == 0 {
+		opts = DefaultOptions()
+	}
+	s := &Solver{opts: opts, okay: true, varInc: 1.0, clauseInc: 1.0}
+	s.ensureVars(int32(f.NumVars))
+	for _, c := range f.Clauses {
+		if !s.addClause(c) {
+			s.okay = false
+		}
+	}
+	return s
+}
+
+// NewDefault creates a solver with DefaultOptions.
+func NewDefault(f *cnf.Formula) *Solver { return New(f, DefaultOptions()) }
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return int(s.numVars) }
+
+// SetBudget sets the effort budget for subsequent Solve calls.
+func (s *Solver) SetBudget(b Budget) { s.budget = b }
+
+// Interrupt asks the solver to stop as soon as possible.  It is safe to call
+// from another goroutine; the current or next Solve call returns a Result
+// with Status Unknown and Interrupted set.
+func (s *Solver) Interrupt() { s.interrupt.Store(true) }
+
+// ClearInterrupt resets the interrupt flag so the solver can be reused.
+func (s *Solver) ClearInterrupt() { s.interrupt.Store(false) }
+
+// Stats returns the statistics accumulated over the lifetime of the solver.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// VarActivity returns the cumulative conflict activity of variable v: the
+// number of times (weighted by the VSIDS bump at that moment, normalised for
+// rescaling) the variable appeared in conflict analysis.  This is the
+// "conflict activity" used by the tabu-search getNewCenter heuristic.
+func (s *Solver) VarActivity(v cnf.Var) float64 {
+	iv := int32(v - 1)
+	if iv < 0 || iv >= s.numVars {
+		return 0
+	}
+	return s.confAct[iv]
+}
+
+// ConflictActivities returns a copy of the cumulative conflict activities of
+// all variables, indexed by cnf.Var (index 0 unused).
+func (s *Solver) ConflictActivities() []float64 {
+	out := make([]float64, s.numVars+1)
+	for v := int32(0); v < s.numVars; v++ {
+		out[v+1] = s.confAct[v]
+	}
+	return out
+}
+
+func (s *Solver) ensureVars(n int32) {
+	for s.numVars < n {
+		s.numVars++
+		s.watches = append(s.watches, nil, nil)
+		s.assigns = append(s.assigns, lUndef)
+		s.polarity = append(s.polarity, s.opts.DefaultPhase)
+		s.reason = append(s.reason, nil)
+		s.level = append(s.level, 0)
+		s.activity = append(s.activity, 0)
+		s.confAct = append(s.confAct, 0)
+		s.seen = append(s.seen, false)
+		s.order.insert(s.numVars-1, &s.activity)
+	}
+}
+
+// addClause adds an original clause; returns false if the solver became
+// trivially unsatisfiable.
+func (s *Solver) addClause(c cnf.Clause) bool {
+	norm, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	if len(norm) == 0 {
+		return false
+	}
+	lits := make([]ilit, 0, len(norm))
+	for _, l := range norm {
+		s.ensureVars(int32(l.Var()))
+		il := fromExternal(l)
+		switch s.litValue(il) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop false literal (level 0)
+		}
+		lits = append(lits, il)
+	}
+	switch len(lits) {
+	case 0:
+		return false
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			return false
+		}
+		conf := s.propagate()
+		return conf == nil
+	default:
+		cl := &clause{lits: lits}
+		s.clauses = append(s.clauses, cl)
+		s.attach(cl)
+		return true
+	}
+}
+
+// AddClause adds a clause to an existing solver (incremental interface).  It
+// returns false if the solver is now known to be unsatisfiable at level 0.
+func (s *Solver) AddClause(c cnf.Clause) bool {
+	if !s.okay {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	if !s.addClause(c) {
+		s.okay = false
+	}
+	return s.okay
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{c: c, blocker: l1})
+	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{c: c, blocker: l0})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].neg(), c)
+	s.removeWatch(c.lits[1].neg(), c)
+}
+
+func (s *Solver) removeWatch(l ilit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) litValue(l ilit) lbool {
+	v := s.assigns[l.ivar()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.sign() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l ilit, from *clause) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.ivar()
+	if l.sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation over the watched literals.  It returns
+// the conflicting clause, or nil.
+func (s *Solver) propagate() *clause {
+	var confl *clause
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		i, j := 0, 0
+		for i < len(ws) {
+			w := ws[i]
+			// Blocker check: if the blocker literal is already true the
+			// clause is satisfied and nothing needs to move.
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := w.c
+			// Make sure the false literal is lits[1].
+			falseLit := p.neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c: c, blocker: first}
+				i++
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				i++
+				continue
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c: c, blocker: first}
+			i++
+			j++
+			if s.litValue(first) == lFalse {
+				// Conflict: copy remaining watchers and stop.
+				confl = c
+				s.qhead = len(s.trail)
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+			} else {
+				s.enqueue(first, c)
+			}
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l.ivar()
+		if s.opts.PhaseSaving {
+			s.polarity[v] = !l.sign()
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insertIfAbsent(v, &s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+func (s *Solver) pickBranchVar() int32 {
+	for {
+		v := s.order.removeMin(&s.activity)
+		if v < 0 {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// bump the VSIDS activity of a variable and its cumulative conflict activity.
+func (s *Solver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	s.confAct[v]++
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decrease(v, &s.activity)
+}
+
+func (s *Solver) decayVarActivity()    { s.varInc /= s.opts.VarDecay }
+func (s *Solver) decayClauseActivity() { s.clauseInc /= s.opts.ClauseDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.clauseInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis.  It returns the learned
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]ilit, int) {
+	learnt := []ilit{0} // placeholder for the asserting literal
+	pathC := 0
+	var p ilit = -1
+	idx := len(s.trail) - 1
+	var toClear []int32 // every variable whose seen flag we set
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if q == p {
+				// When expanding the reason of p, skip p itself.
+				continue
+			}
+			v := q.ivar()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.bumpVar(v)
+				s.seen[v] = true
+				toClear = append(toClear, v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for !s.seen[s.trail[idx].ivar()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.ivar()]
+		s.seen[p.ivar()] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.neg()
+
+	// Clause minimization by self-subsumption with reasons.  It relies on the
+	// seen flags still being set for the (non-asserting) learned literals.
+	if s.opts.MinimizeLearned {
+		learnt = s.minimizeLearned(learnt)
+	}
+
+	// Find backtrack level.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].ivar()] > s.level[learnt[maxI].ivar()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].ivar()])
+	}
+
+	// Clear every seen flag we set, including those of literals removed by
+	// minimization; leaving them set would corrupt later analyses.
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+// minimizeLearned removes literals of the learned clause that are implied by
+// the remaining ones through their reason clauses (local minimization).
+func (s *Solver) minimizeLearned(learnt []ilit) []ilit {
+	out := learnt[:1]
+	for i := 1; i < len(learnt); i++ {
+		l := learnt[i]
+		r := s.reason[l.ivar()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q == l.neg() || q == l {
+				continue
+			}
+			v := q.ivar()
+			if !s.seen[v] && s.level[v] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (s *Solver) computeLBD(lits []ilit) int {
+	levels := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.ivar()]] = struct{}{}
+	}
+	return len(levels)
+}
+
+func (s *Solver) recordLearned(lits []ilit) {
+	if len(lits) == 1 {
+		s.enqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: lits, learned: true, lbd: s.computeLBD(lits)}
+	s.bumpClause(c)
+	s.learnts = append(s.learnts, c)
+	s.stats.Learned++
+	s.attach(c)
+	s.enqueue(lits[0], c)
+}
+
+// reduceDB removes roughly half of the learned clauses with the lowest
+// activity (keeping binary clauses and clauses that are currently reasons).
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		ci, cj := s.learnts[i], s.learnts[j]
+		if (len(ci.lits) == 2) != (len(cj.lits) == 2) {
+			return len(cj.lits) == 2 // binaries last (kept)
+		}
+		return ci.activity < cj.activity
+	})
+	limit := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		locked := s.isReason(c)
+		if i < limit && len(c.lits) > 2 && !locked {
+			s.detach(c)
+			s.stats.Removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].ivar()
+	return s.assigns[v] != lUndef && s.reason[v] == c
+}
+
+// luby returns the Luby sequence value for index i (1-based) with unit base:
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i uint64) uint64 {
+	x := i - 1 // 0-based index, as in MiniSat
+	size, seq := uint64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
+}
+
+func (s *Solver) outOfBudget() bool {
+	if s.interrupt.Load() {
+		return true
+	}
+	if s.budget.MaxConflicts > 0 && s.stats.Conflicts >= s.budget.MaxConflicts {
+		return true
+	}
+	if s.budget.MaxPropagations > 0 && s.stats.Propagations >= s.budget.MaxPropagations {
+		return true
+	}
+	if !s.deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// search runs the CDCL loop until a conclusion, a restart, or budget
+// exhaustion.  maxConflicts is the restart threshold (0 = no restart).
+func (s *Solver) search(maxConflicts uint64, assumptions []ilit) (Status, bool) {
+	conflictsAtStart := s.stats.Conflicts
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				return Unsat, false
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.recordLearned(learnt)
+			s.decayVarActivity()
+			s.decayClauseActivity()
+			if s.outOfBudget() {
+				return Unknown, true
+			}
+			if maxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= maxConflicts {
+				// Restart: back to level 0; assumptions are re-applied as
+				// pseudo-decisions on the next descent.
+				s.cancelUntil(0)
+				return Unknown, false
+			}
+			continue
+		}
+		// No conflict.
+		if s.opts.MaxLearnedFactor > 0 &&
+			float64(len(s.learnts)) > s.opts.MaxLearnedFactor*float64(len(s.clauses)+100) {
+			s.reduceDB()
+		}
+		if s.outOfBudget() {
+			return Unknown, true
+		}
+		// Apply assumptions as pseudo-decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				s.newDecisionLevel()
+				continue
+			case lFalse:
+				// Assumptions conflict with the formula.
+				return Unsat, false
+			default:
+				s.newDecisionLevel()
+				s.enqueue(a, nil)
+				continue
+			}
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat, false
+		}
+		s.stats.Decisions++
+		s.newDecisionLevel()
+		if dl := s.decisionLevel(); dl > s.stats.MaxLevel {
+			s.stats.MaxLevel = dl
+		}
+		s.enqueue(mkLit(v, s.polarity[v]), nil)
+	}
+}
+
+// Solve runs the solver to completion (or until the budget/interrupt stops
+// it) with no assumptions.
+func (s *Solver) Solve() Result { return s.SolveWithAssumptions(nil) }
+
+// SolveWithAssumptions solves the formula under the given assumption
+// literals.  Assumptions are not added as clauses: a subsequent call without
+// them sees the original formula (plus learned clauses, which remain valid).
+func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
+	s.startTime = time.Now()
+	if s.budget.MaxTime > 0 {
+		s.deadline = s.startTime.Add(s.budget.MaxTime)
+	} else {
+		s.deadline = time.Time{}
+	}
+	startStats := s.stats
+	res = Result{Status: Unknown}
+	defer func() {
+		res.Stats = diffStats(s.stats, startStats)
+		res.Stats.SolveTime = time.Since(s.startTime)
+	}()
+
+	if !s.okay {
+		res.Status = Unsat
+		return res
+	}
+	s.cancelUntil(0)
+	iassumps := make([]ilit, 0, len(assumptions))
+	for _, a := range assumptions {
+		s.ensureVars(int32(a.Var()))
+		iassumps = append(iassumps, fromExternal(a))
+	}
+
+	var restarts uint64
+	for {
+		limit := s.opts.RestartBase * luby(restarts+1)
+		st, stopped := s.search(limit, iassumps)
+		if st == Sat {
+			res.Status = Sat
+			res.Model = s.extractModel()
+			s.cancelUntil(0)
+			return res
+		}
+		if st == Unsat {
+			res.Status = Unsat
+			s.cancelUntil(0)
+			return res
+		}
+		if stopped {
+			res.Interrupted = true
+			s.cancelUntil(0)
+			return res
+		}
+		restarts++
+		s.stats.Restarts++
+	}
+}
+
+func diffStats(now, before Stats) Stats {
+	return Stats{
+		Decisions:    now.Decisions - before.Decisions,
+		Propagations: now.Propagations - before.Propagations,
+		Conflicts:    now.Conflicts - before.Conflicts,
+		Restarts:     now.Restarts - before.Restarts,
+		Learned:      now.Learned - before.Learned,
+		Removed:      now.Removed - before.Removed,
+		MaxLevel:     now.MaxLevel,
+	}
+}
+
+func (s *Solver) extractModel() cnf.Assignment {
+	m := cnf.NewAssignment(int(s.numVars))
+	for v := int32(0); v < s.numVars; v++ {
+		switch s.assigns[v] {
+		case lTrue:
+			m[v+1] = cnf.True
+		case lFalse:
+			m[v+1] = cnf.False
+		default:
+			// Unconstrained variable: give it the saved phase so the model
+			// is total.
+			if s.polarity[v] {
+				m[v+1] = cnf.True
+			} else {
+				m[v+1] = cnf.False
+			}
+		}
+	}
+	return m
+}
+
+// --- variable order heap -------------------------------------------------
+
+func (o *varOrder) less(i, j int32, act *[]float64) bool {
+	ai, aj := (*act)[i], (*act)[j]
+	if ai != aj {
+		return ai > aj
+	}
+	return i < j
+}
+
+func (o *varOrder) insert(v int32, act *[]float64) {
+	for int(v) >= len(o.indices) {
+		o.indices = append(o.indices, -1)
+	}
+	if o.indices[v] >= 0 {
+		return
+	}
+	o.heap = append(o.heap, v)
+	o.indices[v] = int32(len(o.heap) - 1)
+	o.percolateUp(int32(len(o.heap)-1), act)
+}
+
+func (o *varOrder) insertIfAbsent(v int32, act *[]float64) { o.insert(v, act) }
+
+func (o *varOrder) decrease(v int32, act *[]float64) {
+	if int(v) < len(o.indices) && o.indices[v] >= 0 {
+		o.percolateUp(o.indices[v], act)
+	}
+}
+
+func (o *varOrder) removeMin(act *[]float64) int32 {
+	if len(o.heap) == 0 {
+		return -1
+	}
+	v := o.heap[0]
+	last := o.heap[len(o.heap)-1]
+	o.heap = o.heap[:len(o.heap)-1]
+	o.indices[v] = -1
+	if len(o.heap) > 0 {
+		o.heap[0] = last
+		o.indices[last] = 0
+		o.percolateDown(0, act)
+	}
+	return v
+}
+
+func (o *varOrder) percolateUp(i int32, act *[]float64) {
+	v := o.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !o.less(v, o.heap[parent], act) {
+			break
+		}
+		o.heap[i] = o.heap[parent]
+		o.indices[o.heap[i]] = i
+		i = parent
+	}
+	o.heap[i] = v
+	o.indices[v] = i
+}
+
+func (o *varOrder) percolateDown(i int32, act *[]float64) {
+	v := o.heap[i]
+	n := int32(len(o.heap))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && o.less(o.heap[right], o.heap[left], act) {
+			child = right
+		}
+		if !o.less(o.heap[child], v, act) {
+			break
+		}
+		o.heap[i] = o.heap[child]
+		o.indices[o.heap[i]] = i
+		i = child
+	}
+	o.heap[i] = v
+	o.indices[v] = i
+}
+
+// Describe returns a short human-readable summary of the solver state.
+func (s *Solver) Describe() string {
+	return fmt.Sprintf("solver{vars=%d clauses=%d learnts=%d conflicts=%d}",
+		s.numVars, len(s.clauses), len(s.learnts), s.stats.Conflicts)
+}
+
+// EffortCost converts solver statistics into a scalar cost according to the
+// requested metric; see the montecarlo package for the available metrics.
+func EffortCost(st Stats, metric CostMetric) float64 {
+	switch metric {
+	case CostConflicts:
+		return float64(st.Conflicts)
+	case CostPropagations:
+		return float64(st.Propagations)
+	case CostDecisions:
+		return float64(st.Decisions)
+	case CostWallTime:
+		return st.SolveTime.Seconds()
+	default:
+		return float64(st.Conflicts)
+	}
+}
+
+// CostMetric selects which solver statistic is used as the per-subproblem
+// cost ζ in the Monte Carlo estimation.
+type CostMetric int
+
+// Available cost metrics.
+const (
+	// CostConflicts counts CDCL conflicts; deterministic and the default in
+	// tests and benchmarks.
+	CostConflicts CostMetric = iota
+	// CostPropagations counts unit propagations.
+	CostPropagations
+	// CostDecisions counts decisions.
+	CostDecisions
+	// CostWallTime measures wall-clock seconds, like the paper.
+	CostWallTime
+)
+
+// String implements fmt.Stringer.
+func (m CostMetric) String() string {
+	switch m {
+	case CostConflicts:
+		return "conflicts"
+	case CostPropagations:
+		return "propagations"
+	case CostDecisions:
+		return "decisions"
+	case CostWallTime:
+		return "seconds"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Verify checks that the model satisfies the formula; it is a convenience
+// used by tests and by the runner's paranoid mode.
+func Verify(f *cnf.Formula, model cnf.Assignment) bool {
+	return f.IsSatisfiedBy(model)
+}
