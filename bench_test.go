@@ -9,8 +9,8 @@
 //
 // regenerates the paper-shaped results.  The absolute values are measured in
 // deterministic solver effort (propagations) on weakened instances; see
-// DESIGN.md for the mapping to the paper's cluster-scale numbers and
-// EXPERIMENTS.md for recorded runs.
+// README.md and PAPER.md for the mapping to the paper's cluster-scale
+// numbers.
 package repro_test
 
 import (
@@ -221,8 +221,8 @@ func BenchmarkSAvsTabu(b *testing.B) {
 	}
 }
 
-// BenchmarkSolverAblation measures the CDCL configuration ablation described
-// in DESIGN.md.
+// BenchmarkSolverAblation measures the CDCL configuration ablation
+// (restarts, phase saving, clause minimization on/off).
 func BenchmarkSolverAblation(b *testing.B) {
 	scale := benchScale(b)
 	ctx := context.Background()

@@ -1,6 +1,6 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section on scaled-down instances (see DESIGN.md for the
-// scaling substitutions and EXPERIMENTS.md for recorded results).
+// evaluation section on scaled-down instances (see README.md and PAPER.md
+// for the scaling substitutions).
 //
 // Usage:
 //

@@ -4,11 +4,31 @@
 //	Partitionings of Hard Variants of Boolean Satisfiability Problem"
 //	(PaCT 2015, arXiv:1507.00862).
 //
-// The library lives in internal/ packages (cnf, solver, circuit, crypto,
-// encoder, decomp, montecarlo, optimize, pdsat, core, expts); the
-// command-line tools live in cmd/ and runnable examples in examples/.  See
-// README.md for a tour, DESIGN.md for the system inventory and scaling
-// substitutions, and EXPERIMENTS.md for the reproduced tables and figures.
+// The paper solves hard cryptanalysis SAT instances by partitioning: a
+// decomposition set X̃ splits the instance C into the 2^|X̃| independent
+// subproblems C[X̃/α], the total processing cost of a partitioning is
+// estimated by the Monte Carlo method (a predictive function F = 2^d·mean
+// over a random sample of subproblems), and metaheuristics minimize F over
+// candidate decomposition sets.  See PAPER.md for a complete summary and
+// README.md for the architecture and a quickstart.
+//
+// The library lives in internal/ packages, layered bottom-up:
+//
+//   - cnf, cnfgen: propositional substrate and benchmark formulas
+//   - circuit, crypto, encoder: A5/1, Bivium and Grain keystream
+//     generators, their circuits and Tseitin CNF encodings
+//   - solver: deterministic CDCL with assumptions, conflict activity and
+//     reusable sessions (pristine Reset / incremental reuse)
+//   - decomp, montecarlo, optimize: decomposition families, the predictive
+//     function and its confidence intervals, simulated annealing and tabu
+//     search
+//   - pdsat: goroutine-based reproduction of the paper's MPI leader/worker
+//     program (estimation and solving modes, persistent per-worker solvers)
+//   - portfolio, core, expts: the portfolio baseline, the public facade and
+//     the experiment harness
+//
+// The command-line tools live in cmd/ (pdsat, keygen, dimacs, experiments)
+// and runnable walkthroughs in examples/.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation section at a laptop-friendly scale:

@@ -2,7 +2,7 @@
 // figure of the paper's evaluation section, each producing the same rows or
 // series the paper reports, on instances scaled down to laptop size.
 //
-// The scaling substitutions are documented in DESIGN.md: the cryptanalysis
+// The scaling substitutions are documented in README.md: the cryptanalysis
 // instances are weakened (a suffix of the register state is fixed to its
 // true value) so that one predictive-function evaluation takes milliseconds
 // to seconds and whole decomposition families remain enumerable, while the

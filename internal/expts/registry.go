@@ -8,8 +8,8 @@ import (
 
 // Experiment is a runnable experiment of the paper's evaluation section.
 type Experiment struct {
-	// ID is the short identifier used on the command line and in
-	// EXPERIMENTS.md ("table1", "fig3", ...).
+	// ID is the short identifier used on the command line
+	// ("table1", "fig3", ...).
 	ID string
 	// Paper names the table or figure of the paper being reproduced.
 	Paper string
@@ -145,7 +145,7 @@ func Experiments() []Experiment {
 		},
 		{
 			ID:          "solver-ablation",
-			Paper:       "DESIGN.md (design choices)",
+			Paper:       "supporting (design choices)",
 			Description: "CDCL configuration ablation on sampled subproblems",
 			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
 				r, err := RunSolverAblation(ctx, scale)

@@ -187,8 +187,8 @@ func (r *SAvsTabuResult) TableSAvsTabu() *Table {
 }
 
 // AblationResult compares solver configurations on the same sampled
-// subproblems, supporting the design-choice discussion in DESIGN.md
-// (restarts and phase saving on/off).
+// subproblems, supporting the CDCL design-choice discussion (restarts and
+// phase saving on/off).
 type AblationResult struct {
 	Scale Scale
 	Rows  []AblationRow

@@ -1,0 +1,197 @@
+package pdsat
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/encoder"
+	"repro/internal/solver"
+)
+
+// TestEvaluatePointUnaffectedBySolverReuse is the runner-level counterpart
+// of solver.TestResetEquivalentToFresh: because every worker restores its
+// persistent solver to the pristine state before each subproblem, the
+// estimate of a point must not depend on how many subproblems the runner's
+// pooled solvers have processed before (here: many evaluations and a whole
+// family solve on one runner vs. a fresh runner per evaluation).
+func TestEvaluatePointUnaffectedBySolverReuse(t *testing.T) {
+	inst, err := encoder.NewInstance(encoder.A51(), encoder.Config{
+		KeystreamLen: 40, KnownSuffix: 44, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := unknownSpace(inst)
+	p, err := space.PointFromVars(space.Vars()[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SampleSize: 12, Workers: 3, Seed: 7, CostMetric: solver.CostConflicts}
+
+	// Reference: a fresh runner (hence freshly built solvers) per evaluation
+	// index.
+	want := make([]float64, 3)
+	for i := range want {
+		r := NewRunner(inst.CNF, cfg)
+		for j := 0; j <= i; j++ {
+			est, err := r.EvaluatePoint(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j == i {
+				want[j] = est.Estimate.Value
+			}
+		}
+	}
+
+	// One long-lived runner whose pooled solvers accumulate history: the
+	// same three evaluations, interleaved with a full family solve.
+	r := NewRunner(inst.CNF, cfg)
+	for i := range want {
+		est, err := r.EvaluatePoint(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Estimate.Value != want[i] {
+			t.Fatalf("evaluation %d: estimate %v differs from fresh-runner value %v",
+				i, est.Estimate.Value, want[i])
+		}
+		if i == 0 {
+			if _, err := r.Solve(context.Background(), p, SolveOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSolveRetainLearnedFindsSameAnswer checks that solving mode with
+// learned-clause retention reaches the same conclusion (secret found, model
+// valid) as the default pristine mode, and that the accounting fields stay
+// consistent.
+func TestSolveRetainLearnedFindsSameAnswer(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 41)
+	space := unknownSpace(inst)
+
+	pristine := NewRunner(inst.CNF, Config{SampleSize: 4, Workers: 2, Seed: 1, CostMetric: solver.CostPropagations})
+	base, err := pristine.Solve(context.Background(), space.FullPoint(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{SampleSize: 4, Workers: 2, Seed: 1, CostMetric: solver.CostPropagations, RetainLearned: true}
+	r := NewRunner(inst.CNF, cfg)
+	report, err := r.Solve(context.Background(), space.FullPoint(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.FoundSat {
+		t.Fatal("retain-learned solve must still find the secret")
+	}
+	if report.SatIndex != base.SatIndex {
+		t.Fatalf("first satisfiable subproblem moved: %d vs %d", report.SatIndex, base.SatIndex)
+	}
+	if report.Processed != base.Processed {
+		t.Fatalf("processed %d vs %d subproblems", report.Processed, base.Processed)
+	}
+	ok, err := inst.CheckRecoveredState(encoder.Bivium(), report.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("recovered state does not reproduce the keystream")
+	}
+	if report.TotalCost <= 0 {
+		t.Fatal("retained-mode costs must still include the construction baseline")
+	}
+}
+
+// TestAggregateStats checks the per-worker stats aggregation: the runner's
+// aggregate must equal the sum of per-subproblem lifetime efforts, i.e. the
+// cost metric applied to it must match the summed sample costs.
+func TestAggregateStats(t *testing.T) {
+	inst := weakBivium(t, 168, 50, 9)
+	space := unknownSpace(inst)
+	r := NewRunner(inst.CNF, Config{SampleSize: 8, Workers: 2, Seed: 7, CostMetric: solver.CostPropagations})
+	est, err := r.EvaluatePoint(context.Background(), space.FullPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range est.Sample.Values() {
+		sum += v
+	}
+	agg := r.AggregateStats()
+	if got := float64(agg.Propagations); got != sum {
+		t.Fatalf("aggregate propagations %v != summed sample costs %v", got, sum)
+	}
+	if agg.SolveTime <= 0 {
+		t.Fatal("aggregate solve time should be positive")
+	}
+}
+
+// TestRetainModeActivityNotDoubleCounted checks the per-task activity
+// attribution when a retained solver outlives both tasks and runs: with one
+// worker the per-task diffs telescope, so the activity absorbed by the
+// runner over two solving runs must equal the pooled solver's cumulative
+// conflict activity — if the second run's worker failed to start its diff
+// from the solver's existing counters, the first run's residue would be
+// counted twice.
+func TestRetainModeActivityNotDoubleCounted(t *testing.T) {
+	inst, err := encoder.NewInstance(encoder.A51(), encoder.Config{
+		KeystreamLen: 40, KnownSuffix: 44, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := unknownSpace(inst)
+	p, err := space.PointFromVars(space.Vars()[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(inst.CNF, Config{SampleSize: 4, Workers: 1, Seed: 3, RetainLearned: true})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Solve(context.Background(), p, SolveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	absorbed := 0.0
+	for v := range r.confAct {
+		absorbed += r.confAct[v]
+	}
+	r.poolMu.Lock()
+	if len(r.pool) != 1 {
+		r.poolMu.Unlock()
+		t.Fatalf("expected exactly one pooled solver, got %d", len(r.pool))
+	}
+	cumulative := 0.0
+	for _, a := range r.pool[0].ConflictActivities() {
+		cumulative += a
+	}
+	r.poolMu.Unlock()
+	if absorbed == 0 {
+		t.Fatal("expected some conflict activity on this instance")
+	}
+	if absorbed != cumulative {
+		t.Fatalf("absorbed activity %v != solver cumulative activity %v (double counting)",
+			absorbed, cumulative)
+	}
+}
+
+// TestSolverPoolIsBounded checks that the pool never holds more solvers than
+// the configured worker count (workers return their solver when done).
+func TestSolverPoolIsBounded(t *testing.T) {
+	inst := weakBivium(t, 168, 50, 9)
+	space := unknownSpace(inst)
+	r := NewRunner(inst.CNF, Config{SampleSize: 16, Workers: 3, Seed: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := r.EvaluatePoint(context.Background(), space.FullPoint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.poolMu.Lock()
+	n := len(r.pool)
+	r.poolMu.Unlock()
+	if n == 0 || n > 3 {
+		t.Fatalf("pool holds %d solvers, want 1..3", n)
+	}
+}

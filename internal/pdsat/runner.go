@@ -5,11 +5,22 @@
 //
 //   - Estimation mode (EvaluatePoint): for a decomposition set X̃ the leader
 //     draws a random sample of N assignments of X̃, the workers solve the
-//     induced subproblems C[X̃/α] with a fresh deterministic CDCL solver
-//     each, and the observed costs are combined into the predictive-function
-//     value F = 2^d · mean (montecarlo.Estimate).  Per-variable conflict
-//     activity is accumulated across the sample; the tabu search uses it to
-//     pick new neighbourhood centres.
+//     induced subproblems C[X̃/α], and the observed costs are combined into
+//     the predictive-function value F = 2^d · mean (montecarlo.Estimate).
+//     Per-variable conflict activity is accumulated across the sample; the
+//     tabu search uses it to pick new neighbourhood centres.
+//
+// Each worker goroutine owns one persistent solver, drawn from a pool that
+// the Runner keeps across evaluations, so the clause database and watch
+// lists are built once per worker instead of once per subproblem.  In
+// estimation mode the solver is restored to its pristine state
+// (solver.Reset) before every subproblem, which makes the observed cost of a
+// subproblem identical to what a freshly constructed solver would measure —
+// the per-subproblem costs stay samples of the single well-defined random
+// variable the Monte Carlo method requires, and fixed-seed estimates are
+// bit-for-bit unchanged by the reuse.  In solving mode the Config.RetainLearned
+// option additionally allows MiniSat-style retention of learned clauses
+// across the subproblems a worker processes.
 //
 //   - Solving mode (Solve): all 2^d assignments of X̃ are enumerated and the
 //     corresponding subproblems are solved, optionally stopping at the first
@@ -55,6 +66,15 @@ type Config struct {
 	// SubproblemBudget bounds the effort spent on a single subproblem
 	// (useful as a safety net during estimation of very bad points).
 	SubproblemBudget solver.Budget
+	// RetainLearned lets each worker keep learned clauses, variable
+	// activities and saved phases across the subproblems it processes in
+	// solving mode (Runner.Solve), MiniSat-style.  Later subproblems on the
+	// same worker then typically solve faster, but the reported per-subproblem
+	// costs depend on which worker processed which subproblem and are no
+	// longer comparable with the predictive function, so estimation mode
+	// (EvaluatePoint) always uses pristine per-subproblem resets regardless
+	// of this flag.
+	RetainLearned bool
 }
 
 // DefaultConfig returns a configuration suitable for the scaled-down
@@ -83,6 +103,18 @@ type Runner struct {
 	evaluations int
 	// subproblemsSolved counts individual subproblem solves.
 	subproblemsSolved int
+	// aggStats accumulates the per-subproblem solver statistics.
+	aggStats solver.Stats
+
+	// poolMu guards pool, the persistent per-worker solvers reused across
+	// evaluations.  A solver is taken from the pool for the lifetime of one
+	// worker goroutine and returned when the worker exits.  In pristine
+	// (estimation) mode every subproblem starts with a Reset, so any pooled
+	// solver is interchangeable with any other; retain-mode workers instead
+	// carry learned clauses and activities in the pooled solver and must
+	// rebase budgets and activity diffs onto its cumulative counters.
+	poolMu sync.Mutex
+	pool   []*solver.Solver
 }
 
 // NewRunner creates a runner for the formula.
@@ -121,6 +153,38 @@ func (r *Runner) SubproblemsSolved() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.subproblemsSolved
+}
+
+// AggregateStats returns the summed solver statistics of every subproblem
+// solved so far (in the same accounting as the cost metric: construction
+// baseline plus search effort per subproblem).
+func (r *Runner) AggregateStats() solver.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aggStats
+}
+
+// acquireSolver hands out a persistent solver for one worker goroutine,
+// creating it on first use.  Solvers live in a pool on the Runner so the
+// clause database survives across evaluations (the optimizer calls
+// EvaluatePoint thousands of times on the same formula).
+func (r *Runner) acquireSolver() *solver.Solver {
+	r.poolMu.Lock()
+	if n := len(r.pool); n > 0 {
+		s := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		r.poolMu.Unlock()
+		return s
+	}
+	r.poolMu.Unlock()
+	return solver.New(r.formula, r.cfg.SolverOptions)
+}
+
+// releaseSolver returns a worker's solver to the pool.
+func (r *Runner) releaseSolver(s *solver.Solver) {
+	r.poolMu.Lock()
+	r.pool = append(r.pool, s)
+	r.poolMu.Unlock()
 }
 
 // VarActivity returns the cumulative conflict activity of a variable over
@@ -163,13 +227,18 @@ type taskResult struct {
 	model   cnf.Assignment
 	actVars []float64 // conflict activity contribution, indexed by cnf.Var
 	stats   solver.Stats
+	// started distinguishes real solves (even interrupted ones) from
+	// placeholders for tasks cancelled before a solver ever saw them.
+	started bool
 }
 
 // EvaluatePoint computes the predictive function F at the decomposition set
 // given by the point, using the runner's sample size and worker pool.  The
 // evaluation is deterministic for a fixed configuration when the cost metric
-// is deterministic: the sample depends only on (Seed, evaluation counter) and
-// each subproblem is solved by a fresh solver.
+// is deterministic: the sample depends only on (Seed, evaluation counter),
+// and although each worker reuses one persistent solver, the solver is
+// restored to its pristine state before every subproblem, so every
+// subproblem is solved exactly as a fresh solver would solve it.
 func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstimate, error) {
 	if p.Count() == 0 {
 		return nil, errors.New("pdsat: empty decomposition set")
@@ -197,7 +266,7 @@ func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstim
 		tasks[i] = task{index: i, assumptions: assumptions}
 	}
 
-	results, err := r.runTasks(ctx, tasks, false)
+	results, err := r.runTasks(ctx, tasks, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -233,23 +302,45 @@ func (r *Runner) Evaluate(ctx context.Context, p decomp.Point) (float64, error) 
 	return est.Estimate.Value, nil
 }
 
-// absorbActivities adds the per-task conflict activities into the runner's
-// cumulative table, in task order for determinism.
+// absorbActivities adds the per-task conflict activities and statistics into
+// the runner's cumulative tables.  Results arrive in completion order, which
+// is fine here: the absorbed quantities are integer-valued counters, so the
+// float sums are exact and order-insensitive.
 func (r *Runner) absorbActivities(results []taskResult) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, res := range results {
+		if !res.started {
+			// Cancelled before a solver saw it: nothing to absorb, and
+			// counting it would skew per-subproblem averages.
+			continue
+		}
 		for v := 1; v < len(res.actVars) && v < len(r.confAct); v++ {
 			r.confAct[v] += res.actVars[v]
 		}
+		r.aggStats = r.aggStats.Add(res.stats)
 		r.subproblemsSolved++
 	}
 }
 
-// runTasks distributes tasks over the worker pool and collects results in
-// task-index order.  If stopOnSat is true the remaining work is cancelled as
-// soon as one subproblem is satisfiable.
-func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]taskResult, error) {
+// searchAllowance is the search effort a budget leaves after charging the
+// construction baseline (0 if the baseline alone exhausts it, which makes
+// the budget trip immediately, exactly like a fresh solver).
+func searchAllowance(budget, base uint64) uint64 {
+	if budget <= base {
+		return 0
+	}
+	return budget - base
+}
+
+// runTasks distributes tasks over the worker pool and collects one result
+// per task (in completion order; callers needing enumeration order index by
+// taskResult.index).  Each worker goroutine owns one persistent solver for
+// the whole run; retain selects whether it keeps learned clauses across
+// tasks (solving mode with Config.RetainLearned) or is restored to its
+// pristine state before every task.  If stopOnSat is true the remaining work
+// is cancelled as soon as one subproblem is satisfiable.
+func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat, retain bool) ([]taskResult, error) {
 	workers := r.cfg.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -258,10 +349,10 @@ func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]
 		workers = 1
 	}
 	taskCh := make(chan task)
-	// Both the producer (for cancelled tasks) and the workers may emit a
-	// result for the same index, so size the channel for the worst case to
-	// keep every send non-blocking once the collector stops reading.
-	resCh := make(chan taskResult, 2*len(tasks)+workers)
+	// Exactly one result is emitted per task — by the worker that received
+	// it, or by the producer for a task cancelled before it could be handed
+	// out — so a len(tasks) buffer keeps every send non-blocking.
+	resCh := make(chan taskResult, len(tasks))
 	innerCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -270,12 +361,21 @@ func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wk := &worker{runner: r, solver: r.acquireSolver(), retain: retain}
+			if retain {
+				// A pooled solver may carry conflict activity from a previous
+				// run that was already absorbed by the runner; without a Reset
+				// to zero it, the per-task diff must start from the current
+				// cumulative values.
+				wk.prevAct = wk.solver.ConflictActivities()
+			}
+			defer r.releaseSolver(wk.solver)
 			for t := range taskCh {
 				if innerCtx.Err() != nil {
 					resCh <- taskResult{index: t.index, status: solver.Unknown}
 					continue
 				}
-				resCh <- r.solveTask(innerCtx, t)
+				resCh <- wk.solveTask(innerCtx, t)
 			}
 		}()
 	}
@@ -294,13 +394,8 @@ func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]
 	}()
 
 	results := make([]taskResult, 0, len(tasks))
-	collected := make(map[int]bool, len(tasks))
 	for len(results) < len(tasks) {
 		res := <-resCh
-		if collected[res.index] {
-			continue
-		}
-		collected[res.index] = true
 		results = append(results, res)
 		if stopOnSat && res.status == solver.Sat {
 			cancel()
@@ -314,17 +409,55 @@ func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat bool) ([]
 	return results, nil
 }
 
-// solveTask solves one subproblem with a fresh solver.  The reported cost is
-// the solver's lifetime effort — construction-time (root-level) propagation
-// plus the search under the assumptions — because each member of a
-// decomposition family is conceptually solved from scratch, exactly as the
-// paper's modified MiniSat re-reads C[X̃/α] for every subproblem.  Counting
-// only the post-assumption search would report zero cost for subproblems
-// already decided by root propagation.
-func (r *Runner) solveTask(ctx context.Context, t task) taskResult {
+// worker is the per-goroutine solving state: one persistent solver plus the
+// scratch needed to attribute statistics and conflict activity to individual
+// tasks when the solver outlives them.
+type worker struct {
+	runner *Runner
+	solver *solver.Solver
+	retain bool
+	// prevAct is the solver's cumulative conflict activity after the
+	// previous task (retain mode only); the per-task contribution is the
+	// difference, since conflict activity grows monotonically.
+	prevAct []float64
+}
+
+// solveTask solves one subproblem on the worker's persistent solver.  The
+// reported cost is the equivalent of a fresh solver's lifetime effort —
+// construction-time (root-level) propagation plus the search under the
+// assumptions — because each member of a decomposition family is
+// conceptually solved from scratch, exactly as the paper's modified MiniSat
+// re-reads C[X̃/α] for every subproblem.  Counting only the post-assumption
+// search would report zero cost for subproblems already decided by root
+// propagation.
+//
+// In pristine mode solver.Reset makes the search (and therefore the cost)
+// bit-for-bit identical to a fresh solver's.  In retain mode the search
+// benefits from previously learned clauses; the cost is the construction
+// baseline plus this call's actual effort.
+func (w *worker) solveTask(ctx context.Context, t task) taskResult {
+	r, s := w.runner, w.solver
 	start := time.Now()
-	s := solver.New(r.formula, r.cfg.SolverOptions)
-	s.SetBudget(r.cfg.SubproblemBudget)
+	if w.retain {
+		s.ClearInterrupt()
+		// The solver's counters are cumulative across tasks, so a per-task
+		// effort budget must be rebased onto the current totals.  Like a
+		// fresh solver (whose lifetime counters include construction), the
+		// budget charges the construction baseline, so the per-task search
+		// allowance is budget minus baseline in both modes.
+		b := r.cfg.SubproblemBudget
+		base := s.BaseStats()
+		if b.MaxConflicts > 0 {
+			b.MaxConflicts = s.Stats().Conflicts + searchAllowance(b.MaxConflicts, base.Conflicts)
+		}
+		if b.MaxPropagations > 0 {
+			b.MaxPropagations = s.Stats().Propagations + searchAllowance(b.MaxPropagations, base.Propagations)
+		}
+		s.SetBudget(b)
+	} else {
+		s.Reset()
+		s.SetBudget(r.cfg.SubproblemBudget)
+	}
 	done := make(chan struct{})
 	var res solver.Result
 	go func() {
@@ -337,15 +470,35 @@ func (r *Runner) solveTask(ctx context.Context, t task) taskResult {
 		s.Interrupt()
 		<-done
 	}
-	lifetime := s.Stats()
-	lifetime.SolveTime = time.Since(start)
+	var taskStats solver.Stats
+	var actVars []float64
+	if w.retain {
+		taskStats = s.BaseStats().Add(res.Stats)
+		cur := s.ConflictActivities()
+		actVars = make([]float64, len(cur))
+		for v := range cur {
+			prev := 0.0
+			if v < len(w.prevAct) {
+				prev = w.prevAct[v]
+			}
+			actVars[v] = cur[v] - prev
+		}
+		w.prevAct = cur
+	} else {
+		// Reset rebased the stats to the construction baseline and zeroed
+		// the conflict activities, so the lifetime values are per-task.
+		taskStats = s.Stats()
+		actVars = s.ConflictActivities()
+	}
+	taskStats.SolveTime = time.Since(start)
 	return taskResult{
 		index:   t.index,
-		cost:    solver.EffortCost(lifetime, r.cfg.CostMetric),
+		cost:    solver.EffortCost(taskStats, r.cfg.CostMetric),
 		status:  res.Status,
 		model:   res.Model,
-		actVars: s.ConflictActivities(),
-		stats:   res.Stats,
+		actVars: actVars,
+		stats:   taskStats,
+		started: true,
 	}
 }
 
@@ -391,7 +544,9 @@ type SolveOptions struct {
 // Solve processes the decomposition family induced by the point: it
 // enumerates assignments of the decomposition set, solves every subproblem
 // and aggregates costs.  The decomposition set must be small enough to
-// enumerate (d < 63).
+// enumerate (d < 63).  With Config.RetainLearned set, each worker keeps its
+// learned clauses across subproblems, which usually lowers the total effort
+// at the price of scheduling-dependent per-subproblem costs.
 func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (*SolveReport, error) {
 	if p.Count() == 0 {
 		return nil, errors.New("pdsat: empty decomposition set")
@@ -410,7 +565,7 @@ func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (
 	for idx := uint64(0); idx < total; idx++ {
 		tasks[idx] = task{index: int(idx), assumptions: fam.AssumptionsFor(idx)}
 	}
-	results, err := r.runTasks(ctx, tasks, opts.StopOnSat)
+	results, err := r.runTasks(ctx, tasks, opts.StopOnSat, r.cfg.RetainLearned)
 	interrupted := false
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -434,8 +589,8 @@ func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (
 			continue
 		}
 		res := byIndex[idx]
-		if res.status == solver.Unknown && res.stats.SolveTime == 0 {
-			// Cancelled before it started.
+		if !res.started {
+			// Cancelled before a solver saw it.
 			continue
 		}
 		report.Processed++

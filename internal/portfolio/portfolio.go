@@ -99,10 +99,22 @@ type Options struct {
 	MemberBudget solver.Budget
 }
 
-// Solve runs the portfolio on the formula and returns as soon as one member
-// reports SAT or UNSAT (the remaining members are interrupted), or when all
-// members stop without a conclusion.
-func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
+// Portfolio is a reusable portfolio session: the per-member solvers are
+// built once and restored to their pristine state (solver.Reset) for every
+// Solve call, so repeated runs — e.g. one per guiding-path split, or the
+// experiment harness comparing budgets — skip the clause-database
+// construction entirely.
+type Portfolio struct {
+	formula *cnf.Formula
+	members []Member
+	opts    Options
+	solvers []*solver.Solver
+	mu      sync.Mutex // serializes Solve calls (the solvers are stateful)
+}
+
+// New validates the options and creates a reusable portfolio for the
+// formula.  Member solvers are constructed lazily on the first Solve call.
+func New(f *cnf.Formula, opts Options) (*Portfolio, error) {
 	if f == nil {
 		return nil, errors.New("portfolio: nil formula")
 	}
@@ -117,7 +129,28 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 		}
 		names[m.Name] = true
 	}
-	workers := opts.Workers
+	return &Portfolio{formula: f, members: members, opts: opts}, nil
+}
+
+// Solve runs the portfolio on the formula and returns as soon as one member
+// reports SAT or UNSAT (the remaining members are interrupted), or when all
+// members stop without a conclusion.  It is a convenience wrapper around
+// Portfolio.Solve for one-shot runs.
+func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
+	p, err := New(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Solve(ctx)
+}
+
+// Solve runs the portfolio once, reusing the member solvers of previous
+// calls.
+func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	members := p.members
+	workers := p.opts.Workers
 	if workers <= 0 || workers > len(members) {
 		workers = len(members)
 	}
@@ -128,16 +161,21 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 		res  solver.Result
 	}
 	resCh := make(chan memberResult, len(members))
-	solvers := make([]*solver.Solver, len(members))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	innerCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if p.solvers == nil {
+		p.solvers = make([]*solver.Solver, len(members))
+		for i, m := range members {
+			p.solvers[i] = solver.New(p.formula, m.Options)
+		}
+	}
 	for i, m := range members {
-		s := solver.New(f, m.Options)
-		s.SetBudget(opts.MemberBudget)
-		solvers[i] = s
+		s := p.solvers[i]
+		s.Reset()
+		s.SetBudget(p.opts.MemberBudget)
 		wg.Add(1)
 		go func(m Member, s *solver.Solver) {
 			defer wg.Done()
@@ -177,7 +215,7 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 		result.WallTime = time.Since(start)
 	}
 	for _, st := range result.MemberStats {
-		result.TotalCost += solver.EffortCost(st, opts.CostMetric)
+		result.TotalCost += solver.EffortCost(st, p.opts.CostMetric)
 	}
 	if err := ctx.Err(); err != nil && result.Winner == "" {
 		return result, err

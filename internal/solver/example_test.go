@@ -1,0 +1,36 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// ExampleSolver_Reset shows the pristine session mode: one solver answers a
+// sequence of assumption queries, each solved exactly as a freshly built
+// solver would solve it, without rebuilding the clause database in between.
+func ExampleSolver_Reset() {
+	f := cnf.New(3)
+	f.AddClauseLits(1, 2)  //  x1 ∨ x2
+	f.AddClauseLits(-1, 3) // ¬x1 ∨ x3
+	f.AddClauseLits(-2, 3) // ¬x2 ∨ x3
+
+	s := solver.NewDefault(f)
+	queries := [][]cnf.Lit{
+		nil,                    // plain satisfiability
+		{cnf.NewLit(3, false)}, // assume ¬x3: forces a conflict
+		{cnf.NewLit(1, true)},  // assume x1
+		{cnf.NewLit(2, false), cnf.NewLit(1, false)}, // assume ¬x2, ¬x1
+	}
+	for _, assumptions := range queries {
+		s.Reset()
+		res := s.SolveWithAssumptions(assumptions)
+		fmt.Println(res.Status)
+	}
+	// Output:
+	// SAT
+	// UNSAT
+	// SAT
+	// UNSAT
+}

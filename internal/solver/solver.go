@@ -15,6 +15,35 @@
 // solving) the solver exposes per-variable conflict activity via
 // VarActivity, which the tabu-search heuristic of the paper uses to pick new
 // neighbourhood centres.
+//
+// # Sessions: reusing one solver for many subproblems
+//
+// A solver may be used as a long-lived session instead of being rebuilt for
+// every query.  Two reuse modes are supported:
+//
+//   - Incremental (MiniSat-style): simply call SolveWithAssumptions
+//     repeatedly.  Assumptions are applied as pseudo-decisions, never as
+//     clauses, so every learned clause is implied by the formula alone and
+//     remains valid for later calls under different assumptions.  Learned
+//     clauses, variable activities and saved phases all carry over, which
+//     typically makes later related queries cheaper — at the price that the
+//     cost of a query now depends on the query history.
+//
+//   - Pristine (Reset): call Reset between queries.  Reset restores the
+//     exact state the solver had right after construction — clause literal
+//     order, watch lists, root-level trail, activities, phases and
+//     statistics — so the next SolveWithAssumptions call performs literally
+//     the same search a freshly constructed solver would, while skipping
+//     the allocation and root-level propagation work of New.  This is what
+//     the Monte Carlo estimation of the paper needs: the observed cost of a
+//     subproblem must be a sample of a well-defined random variable,
+//     independent of which subproblems happened to be solved before it on
+//     the same worker.
+//
+// The pristine snapshot is captured lazily at the first Solve/Reset call;
+// it costs one O(formula) copy and roughly doubles the memory held per
+// solver, which is negligible next to the construction cost it saves in
+// session use and acceptable for one-shot solves.
 package solver
 
 import (
@@ -210,6 +239,177 @@ type Solver struct {
 	interrupt atomic.Bool
 	startTime time.Time
 	deadline  time.Time
+
+	// base is the pristine post-construction snapshot restored by Reset.
+	base *snapshot
+	// everSolved is set by the first SolveWithAssumptions call; AddClause
+	// refreshes the snapshot only while the solver is still pristine.
+	everSolved bool
+}
+
+// snapshot captures the complete search-relevant state of a solver right
+// after construction, so Reset can restore it with plain copies instead of
+// re-running New (allocation, clause normalization and root propagation).
+// Clause pointers stay valid for the lifetime of the solver, so watchers and
+// reasons are stored as-is.
+type snapshot struct {
+	numVars    int32
+	numClauses int
+	lits       []ilit    // flat concatenation of every clause's literals
+	watch      []watcher // flat concatenation of every watch list
+	watchLen   []int32   // watch-list length per literal
+	assigns    []lbool
+	reason     []*clause
+	trail      []ilit
+	stats      Stats
+	okay       bool
+}
+
+// ensureBase captures the pristine snapshot if it has not been taken yet.
+// Capture is lazy — it happens at the first Solve, Reset or BaseStats call —
+// so that incremental formula construction via AddClause stays linear
+// instead of re-snapshotting after every clause.
+func (s *Solver) ensureBase() {
+	if s.base == nil {
+		s.capture()
+	}
+}
+
+// capture records the current state as the pristine baseline for Reset.  It
+// must only be called while the solver is at decision level 0 and has no
+// learned clauses (i.e. before any search).
+func (s *Solver) capture() {
+	b := &snapshot{
+		numVars:    s.numVars,
+		numClauses: len(s.clauses),
+		stats:      s.stats,
+		okay:       s.okay,
+	}
+	total := 0
+	for _, c := range s.clauses {
+		total += len(c.lits)
+	}
+	b.lits = make([]ilit, 0, total)
+	for _, c := range s.clauses {
+		b.lits = append(b.lits, c.lits...)
+	}
+	total = 0
+	for _, ws := range s.watches {
+		total += len(ws)
+	}
+	b.watch = make([]watcher, 0, total)
+	b.watchLen = make([]int32, len(s.watches))
+	for i, ws := range s.watches {
+		b.watchLen[i] = int32(len(ws))
+		b.watch = append(b.watch, ws...)
+	}
+	b.assigns = append([]lbool(nil), s.assigns...)
+	b.reason = append([]*clause(nil), s.reason...)
+	b.trail = append([]ilit(nil), s.trail...)
+	s.base = b
+}
+
+// Reset restores the solver to its pristine post-construction state: learned
+// clauses are dropped, clause literal order, watch lists, the root-level
+// trail, activities, saved phases and statistics are all restored to the
+// values they had when New returned.  The next SolveWithAssumptions call
+// therefore performs exactly the same search as a freshly constructed
+// solver, but without reallocating the clause database or redoing the
+// root-level propagation (whose effort stays accounted in the restored
+// Stats).
+//
+// Clauses added with AddClause after the first Solve call are discarded by
+// Reset; add all clauses before solving when the solver is to be reused as a
+// pristine session.
+//
+// The effort budget set by SetBudget is configuration, not search state: it
+// survives Reset and applies afresh to each query (the statistics it is
+// checked against are rebased to the construction baseline).  Call SetBudget
+// with a zero Budget to remove it.
+func (s *Solver) Reset() {
+	// A nil base here means the solver has never solved (capture happens at
+	// the first Solve, and AddClause only invalidates pre-solve), so the
+	// state is still pristine and can be captured now.
+	s.ensureBase()
+	b := s.base
+	s.interrupt.Store(false)
+	// Drop variables created after construction (by assumptions over fresh
+	// variables): a fresh solver would not know them, and leaving them in
+	// the decision heap would add phantom decisions and model entries.
+	if s.numVars > b.numVars {
+		n := b.numVars
+		s.watches = s.watches[:2*n]
+		s.assigns = s.assigns[:n]
+		s.polarity = s.polarity[:n]
+		s.reason = s.reason[:n]
+		s.level = s.level[:n]
+		s.activity = s.activity[:n]
+		s.confAct = s.confAct[:n]
+		s.seen = s.seen[:n]
+		s.numVars = n
+	}
+	// Restore clause literal order (search only permutes literals inside a
+	// clause, it never grows or shrinks original clauses).
+	s.clauses = s.clauses[:b.numClauses]
+	off := 0
+	for _, c := range s.clauses {
+		copy(c.lits, b.lits[off:off+len(c.lits)])
+		off += len(c.lits)
+		// Conflict analysis bumps the activity of original clauses too; a
+		// fresh solver starts them at zero, so restore that (the value only
+		// feeds the 1e20 rescale trigger, but a divergent rescale would
+		// break the fresh-replay guarantee on very long searches).
+		c.activity = 0
+	}
+	// Drop learned clauses; their watchers disappear with the wholesale
+	// watch-list restore below, so no detach walk is needed.
+	s.learnts = s.learnts[:0]
+	// Restore watch lists.
+	woff := 0
+	for i := range s.watches {
+		n := int(b.watchLen[i])
+		if cap(s.watches[i]) < n {
+			s.watches[i] = make([]watcher, n)
+		} else {
+			s.watches[i] = s.watches[i][:n]
+		}
+		copy(s.watches[i], b.watch[woff:woff+n])
+		woff += n
+	}
+	// Restore per-variable state.
+	copy(s.assigns, b.assigns)
+	copy(s.reason, b.reason)
+	for v := range s.level {
+		s.level[v] = 0
+	}
+	for v := range s.polarity {
+		s.polarity[v] = s.opts.DefaultPhase
+	}
+	for v := range s.activity {
+		s.activity[v] = 0
+	}
+	for v := range s.confAct {
+		s.confAct[v] = 0
+	}
+	for v := range s.seen {
+		s.seen[v] = false
+	}
+	s.trail = append(s.trail[:0], b.trail...)
+	s.trailLim = s.trailLim[:0]
+	s.qhead = len(s.trail)
+	s.order.rebuild(s.numVars)
+	s.varInc, s.clauseInc = 1.0, 1.0
+	s.stats = b.stats
+	s.okay = b.okay
+}
+
+// BaseStats returns the statistics attributable to construction alone (the
+// root-level propagation performed while the clauses were added).  After a
+// Reset, Stats() starts from these values, so Stats() minus BaseStats() is
+// the effort of the queries since the last Reset.
+func (s *Solver) BaseStats() Stats {
+	s.ensureBase()
+	return s.base.stats
 }
 
 // New creates a solver for the given formula.  The formula is copied into
@@ -327,6 +527,10 @@ func (s *Solver) addClause(c cnf.Clause) bool {
 
 // AddClause adds a clause to an existing solver (incremental interface).  It
 // returns false if the solver is now known to be unsatisfiable at level 0.
+//
+// Clauses added before the first Solve call become part of the pristine
+// baseline restored by Reset; clauses added later remain in effect for
+// incremental solving but are discarded by Reset.
 func (s *Solver) AddClause(c cnf.Clause) bool {
 	if !s.okay {
 		return false
@@ -336,6 +540,11 @@ func (s *Solver) AddClause(c cnf.Clause) bool {
 	}
 	if !s.addClause(c) {
 		s.okay = false
+	}
+	if !s.everSolved {
+		// Invalidate the snapshot while still pristine; it is re-captured
+		// lazily at the first Solve/Reset/BaseStats call.
+		s.base = nil
 	}
 	return s.okay
 }
@@ -786,6 +995,8 @@ func (s *Solver) Solve() Result { return s.SolveWithAssumptions(nil) }
 // literals.  Assumptions are not added as clauses: a subsequent call without
 // them sees the original formula (plus learned clauses, which remain valid).
 func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
+	s.ensureBase()
+	s.everSolved = true
 	s.startTime = time.Now()
 	if s.budget.MaxTime > 0 {
 		s.deadline = s.startTime.Add(s.budget.MaxTime)
@@ -833,6 +1044,23 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
 		restarts++
 		s.stats.Restarts++
 	}
+}
+
+// Add returns the field-wise sum of two Stats values (MaxLevel is the
+// maximum, not the sum).  It lives next to diffStats so the field list stays
+// in one place when Stats grows.
+func (s Stats) Add(o Stats) Stats {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+	s.Removed += o.Removed
+	if o.MaxLevel > s.MaxLevel {
+		s.MaxLevel = o.MaxLevel
+	}
+	s.SolveTime += o.SolveTime
+	return s
 }
 
 func diffStats(now, before Stats) Stats {
@@ -891,6 +1119,22 @@ func (o *varOrder) insert(v int32, act *[]float64) {
 }
 
 func (o *varOrder) insertIfAbsent(v int32, act *[]float64) { o.insert(v, act) }
+
+// rebuild resets the heap to contain every variable 0..n-1 in index order.
+// With all activities equal (as after a Reset) the identity array is a valid
+// heap and matches exactly the heap a fresh solver builds by inserting the
+// variables in order.
+func (o *varOrder) rebuild(n int32) {
+	o.heap = o.heap[:0]
+	if cap(o.indices) < int(n) {
+		o.indices = make([]int32, n)
+	}
+	o.indices = o.indices[:n]
+	for v := int32(0); v < n; v++ {
+		o.heap = append(o.heap, v)
+		o.indices[v] = v
+	}
+}
 
 func (o *varOrder) decrease(v int32, act *[]float64) {
 	if int(v) < len(o.indices) && o.indices[v] >= 0 {
