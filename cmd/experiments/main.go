@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/expts"
 )
 
@@ -81,13 +82,22 @@ func run() error {
 		fmt.Printf("### %s (%s) — scale %q\n\n", e.ID, e.Paper, scale.Name)
 		start := time.Now()
 		tables, err := e.Run(ctx, scale)
-		if err != nil {
+		// On Ctrl-C (or -timeout) still print whatever the experiment
+		// produced before the interrupt, then stop cleanly: a partial
+		// report beats a bare error after minutes of computation.
+		interrupted := err != nil && cluster.IsInterruption(err)
+		if err != nil && !interrupted {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		for _, t := range tables {
 			if err := t.Write(os.Stdout); err != nil {
 				return err
 			}
+		}
+		if interrupted {
+			fmt.Printf("(%s interrupted after %v — results above are partial)\n\n",
+				e.ID, time.Since(start).Round(time.Millisecond))
+			return nil
 		}
 		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

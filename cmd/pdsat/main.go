@@ -1,5 +1,5 @@
 // Command pdsat reproduces the modes of the MPI program PDSAT used in the
-// paper, on top of the library's goroutine-based leader/worker runner:
+// paper, on top of the library's leader/worker runner:
 //
 //	-mode estimate   compute the predictive function F for a decomposition set
 //	-mode search     minimize F with simulated annealing or tabu search
@@ -8,6 +8,18 @@
 // The SAT instance is either generated on the fly from one of the three
 // keystream generators (-generator, -known, -keystream, -seed) or read from
 // a DIMACS file (-cnf) together with an explicit start set (-start).
+//
+// By default the subproblems run on in-process goroutine workers.  The same
+// binary can also form a network cluster, mirroring the paper's MPI
+// deployment: a leader listens with -listen and dispatches every subproblem
+// to remote workers, and a worker joins a leader with -join (all other mode
+// flags are then ignored — the leader ships the formula over the wire):
+//
+//	pdsat -listen :9100 -min-workers 2 -mode solve ...   # terminal 1 (leader)
+//	pdsat -join leaderhost:9100 -workers 8               # terminal 2..n (workers)
+//
+// SIGINT/SIGTERM interrupt the workers cleanly (non-blocking interrupt
+// messages, like PDSAT's) and still print a partial report.
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/encoder"
@@ -38,25 +51,38 @@ func main() {
 
 func run() error {
 	var (
-		mode      = flag.String("mode", "estimate", "estimate, search or solve")
-		generator = flag.String("generator", "a5/1", "keystream generator: a5/1, bivium or grain (ignored with -cnf)")
-		keystream = flag.Int("keystream", 0, "keystream length (0 = paper default)")
-		known     = flag.Int("known", 0, "number of trailing state bits fixed to their secret values")
-		seed      = flag.Int64("seed", 1, "random seed (instance secret, samples and search)")
-		cnfPath   = flag.String("cnf", "", "solve a DIMACS file instead of a generated instance")
-		startList = flag.String("start", "", "comma-separated start-set variables (required with -cnf)")
-		setList   = flag.String("set", "", "explicit decomposition set (comma-separated variables); default: the start set")
-		method    = flag.String("method", "tabu", "search method: sa or tabu")
-		samples   = flag.Int("samples", 200, "Monte Carlo sample size N")
-		evals     = flag.Int("evaluations", 50, "maximum predictive-function evaluations during search")
-		workers   = flag.Int("workers", 0, "computing processes (0 = all CPUs)")
-		cores     = flag.Int("cores", 480, "core count for extrapolated predictions")
-		metric    = flag.String("cost", "propagations", "cost metric: conflicts, propagations, decisions or seconds")
-		budget    = flag.Uint64("subproblem-conflicts", 0, "conflict budget per sampled subproblem (0 = unlimited)")
-		stopOnSat = flag.Bool("stop-on-sat", true, "in solve mode, stop at the first satisfiable subproblem")
-		timeout   = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
+		mode       = flag.String("mode", "estimate", "estimate, search or solve")
+		generator  = flag.String("generator", "a5/1", "keystream generator: a5/1, bivium or grain (ignored with -cnf)")
+		keystream  = flag.Int("keystream", 0, "keystream length (0 = paper default)")
+		known      = flag.Int("known", 0, "number of trailing state bits fixed to their secret values")
+		seed       = flag.Int64("seed", 1, "random seed (instance secret, samples and search)")
+		cnfPath    = flag.String("cnf", "", "solve a DIMACS file instead of a generated instance")
+		startList  = flag.String("start", "", "comma-separated start-set variables (required with -cnf)")
+		setList    = flag.String("set", "", "explicit decomposition set (comma-separated variables); default: the start set")
+		method     = flag.String("method", "tabu", "search method: sa or tabu")
+		samples    = flag.Int("samples", 200, "Monte Carlo sample size N")
+		evals      = flag.Int("evaluations", 50, "maximum predictive-function evaluations during search")
+		workers    = flag.Int("workers", 0, "computing processes (0 = all CPUs)")
+		cores      = flag.Int("cores", 480, "core count for extrapolated predictions")
+		metric     = flag.String("cost", "propagations", "cost metric: conflicts, propagations, decisions or seconds")
+		budget     = flag.Uint64("subproblem-conflicts", 0, "conflict budget per sampled subproblem (0 = unlimited)")
+		stopOnSat  = flag.Bool("stop-on-sat", true, "in solve mode, stop at the first satisfiable subproblem")
+		timeout    = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
+		listen     = flag.String("listen", "", "act as cluster leader: listen for remote workers on this address and dispatch all subproblems to them")
+		join       = flag.String("join", "", "act as remote cluster worker: connect to a leader at this address and serve subproblems (-workers slots)")
+		minWorkers = flag.Int("min-workers", 1, "with -listen, wait for this many remote workers before starting")
 	)
 	flag.Parse()
+
+	ctx, cancel := signalContext(*timeout)
+	defer cancel()
+
+	if *join != "" {
+		if *listen != "" {
+			return fmt.Errorf("-listen and -join are mutually exclusive")
+		}
+		return runWorker(ctx, *join, *workers)
+	}
 
 	costMetric, err := parseMetric(*metric)
 	if err != nil {
@@ -80,13 +106,30 @@ func run() error {
 		Search: optimize.Options{Seed: *seed, MaxEvaluations: *evals},
 		Cores:  *cores,
 	}
+
+	if *listen != "" {
+		leader, err := cluster.Listen(*listen, problem.Formula, cluster.LeaderOptions{
+			SolverOptions: cfg.Runner.SolverOptions,
+			Logf:          logToStderr,
+		})
+		if err != nil {
+			return err
+		}
+		defer leader.Close()
+		fmt.Printf("cluster: leader listening on %s, waiting for %d worker(s)\n",
+			leader.Addr(), *minWorkers)
+		if err := leader.WaitForWorkers(ctx, *minWorkers); err != nil {
+			return err
+		}
+		fmt.Printf("cluster: %d worker(s) joined, %d slot(s) total\n",
+			leader.WorkerCount(), leader.Workers())
+		cfg.Runner.Transport = leader
+	}
+
 	engine, err := core.NewEngine(problem, cfg)
 	if err != nil {
 		return err
 	}
-
-	ctx, cancel := signalContext(*timeout)
-	defer cancel()
 
 	vars := problem.StartSet
 	if *setList != "" {
@@ -109,6 +152,28 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runWorker serves subproblems to a remote leader until the context is
+// cancelled or the leader shuts the worker down.
+func runWorker(ctx context.Context, addr string, workers int) error {
+	fmt.Printf("cluster: worker joining leader at %s\n", addr)
+	err := cluster.Serve(ctx, addr, cluster.WorkerOptions{
+		Capacity: workers,
+		Redial:   time.Second,
+		Logf:     logToStderr,
+	})
+	if cluster.IsInterruption(err) {
+		// Ctrl-C / -timeout: a clean, operator-requested shutdown.  The
+		// leader requeues whatever this worker had in flight.
+		fmt.Println("cluster: worker interrupted, shutting down")
+		return nil
+	}
+	return err
+}
+
+func logToStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func buildProblem(cnfPath, startList, generator string, keystream, known int, seed int64) (*core.Problem, error) {
@@ -143,10 +208,15 @@ func buildProblem(cnfPath, startList, generator string, keystream, known int, se
 
 func runEstimate(ctx context.Context, engine *core.Engine, vars []cnf.Var, metric solver.CostMetric) error {
 	est, err := engine.EstimateSet(ctx, vars)
-	if err != nil {
+	if est == nil {
 		return err
 	}
-	printEstimate("predictive function", est, metric)
+	label := "predictive function"
+	if est.Interrupted {
+		fmt.Println("interrupted — partial estimate from the completed subproblems:")
+		label = "partial predictive function"
+	}
+	printEstimate(label, est, metric)
 	return nil
 }
 
@@ -156,6 +226,9 @@ func runSearch(ctx context.Context, engine *core.Engine, method string, metric s
 	if err != nil {
 		return err
 	}
+	if outcome.Result.Stop == optimize.StopContext {
+		fmt.Println("interrupted — partial search report:")
+	}
 	fmt.Printf("search method       %s\n", outcome.Method)
 	fmt.Printf("points evaluated    %d\n", outcome.Result.Evaluations)
 	fmt.Printf("stop reason         %s\n", outcome.Result.Stop)
@@ -163,7 +236,11 @@ func runSearch(ctx context.Context, engine *core.Engine, method string, metric s
 	fmt.Printf("best |set|          %d\n", outcome.Result.BestPoint.Count())
 	fmt.Printf("best set            %s\n", varsString(outcome.Result.BestPoint.SortedVars()))
 	if outcome.Best != nil {
-		printEstimate("best-set estimate", outcome.Best, metric)
+		label := "best-set estimate"
+		if outcome.Best.Interrupted {
+			label = "best-set estimate (partial, interrupted)"
+		}
+		printEstimate(label, outcome.Best, metric)
 	}
 	return nil
 }
@@ -172,6 +249,9 @@ func runSolve(ctx context.Context, engine *core.Engine, vars []cnf.Var, stopOnSa
 	report, err := engine.SolveWithSet(ctx, vars, pdsat.SolveOptions{StopOnSat: stopOnSat})
 	if err != nil {
 		return err
+	}
+	if report.Interrupted {
+		fmt.Println("interrupted — partial solving report:")
 	}
 	fmt.Printf("subproblems solved  %d\n", report.Processed)
 	fmt.Printf("total cost          %.6g %s\n", report.TotalCost, metric)

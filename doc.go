@@ -22,8 +22,13 @@
 //   - decomp, montecarlo, optimize: decomposition families, the predictive
 //     function and its confidence intervals, simulated annealing and tabu
 //     search
-//   - pdsat: goroutine-based reproduction of the paper's MPI leader/worker
-//     program (estimation and solving modes, persistent per-worker solvers)
+//   - cluster: worker transports for the leader/worker architecture — an
+//     in-process goroutine pool with persistent solvers, and a TCP/gob
+//     network backend (worker registration, heartbeats, batched task
+//     streams, interrupt broadcast, worker-loss requeue)
+//   - pdsat: the paper's MPI leader/worker program PDSAT on top of a
+//     cluster transport (estimation and solving modes); cmd/pdsat
+//     -listen/-join deploys it across machines
 //   - portfolio, core, expts: the portfolio baseline, the public facade and
 //     the experiment harness
 //

@@ -1,0 +1,153 @@
+// Package cluster dispatches batches of SAT subproblems to a pool of
+// workers and collects their results.  It is the communication layer of the
+// paper's PDSAT leader/worker architecture: the leader (internal/pdsat's
+// Runner) prepares a batch of subproblems — a decomposition set plus
+// assumption vectors plus a solver configuration — and a Transport decides
+// where the subproblems actually run.
+//
+// Two backends implement Transport:
+//
+//   - Inproc runs the subproblems on goroutines inside the current process,
+//     each owning one persistent solver, exactly like the original
+//     goroutine-based runner.  This is the default and is bit-for-bit
+//     identical to running without a cluster at all.
+//
+//   - Leader/Serve form a network transport (stdlib-only: encoding/gob over
+//     TCP).  A leader listens for workers, ships them the formula once at
+//     registration, streams task batches, broadcasts non-blocking
+//     interrupts (stop-on-SAT, Ctrl-C), exchanges heartbeats, and requeues
+//     the in-flight tasks of a lost worker onto the remaining ones.  This
+//     reproduces the MPI leader/worker deployment of the paper's
+//     experiments (conf_pact_SemenovZ15 §4) across real machines.
+//
+// The contract is the same for every backend: Run returns exactly one
+// TaskResult per task, in completion order; tasks cancelled before a solver
+// saw them yield placeholder results with Started == false; on context
+// cancellation the partial results collected so far are returned together
+// with the context's error.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Task is one subproblem: solve the transport's formula under the given
+// assumptions.
+type Task struct {
+	// Index identifies the task within its batch.  A batch's indices must
+	// be exactly 0..len(tasks)-1 (each once); both backends rely on this to
+	// track completion and requeue lost work.
+	Index int
+	// Assumptions select the subproblem C[X̃/α].
+	Assumptions []cnf.Lit
+	// Options optionally overrides the transport's shared solver
+	// configuration for this task (used by the portfolio approach, where
+	// every member is the same instance under a different configuration).
+	// Override tasks are solved on a fresh throwaway solver instead of a
+	// pooled one, and their Stats cover only the solve call itself, like a
+	// portfolio member's.  Nil means the shared pooled configuration.
+	Options *solver.Options
+}
+
+// TaskResult is the outcome of one subproblem solve.  It is the wire-level
+// (gob-encodable) mirror of what the in-process runner collects per task.
+type TaskResult struct {
+	// Index echoes Task.Index.
+	Index int
+	// Cost is the subproblem's observed cost in the batch's cost metric.
+	Cost float64
+	// Status is the solver's conclusion (Unknown if interrupted/budgeted).
+	Status solver.Status
+	// Model is a satisfying assignment when Status == Sat.
+	Model cnf.Assignment
+	// ActVars is the per-variable conflict-activity contribution of this
+	// subproblem, indexed by cnf.Var.
+	ActVars []float64
+	// Stats are the solver statistics attributed to this subproblem.
+	Stats solver.Stats
+	// Started distinguishes real solves (even interrupted ones) from
+	// placeholders for tasks cancelled before a solver ever saw them.
+	Started bool
+	// Interrupted reports whether the solve ended early (interrupt message
+	// or exhausted budget).
+	Interrupted bool
+	// Cancelled reports that the solve was cut short inconclusively by a
+	// batch cancellation (context cancelled or stop-on-SAT) rather than by
+	// its own per-task budget: its cost undercounts the subproblem's true
+	// effort and must not be used as a Monte Carlo sample.  The effort it
+	// did spend is still real (Stats), so aggregate accounting may keep it.
+	Cancelled bool
+}
+
+// IsInterruption reports whether an error is a context cancellation — the
+// only transport error for which partial results are meaningful (all other
+// errors mean the batch genuinely failed).
+func IsInterruption(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// StopMode tells a transport when to cancel the remainder of a batch.
+type StopMode int
+
+const (
+	// StopNone processes every task of the batch.
+	StopNone StopMode = iota
+	// StopOnSat cancels the batch as soon as one task reports Sat
+	// (solving mode of the paper: stop at the first recovered key).
+	StopOnSat
+	// StopOnDecided cancels the batch as soon as one task reports Sat or
+	// Unsat (portfolio mode: the first conclusive member wins).
+	StopOnDecided
+)
+
+// BatchOptions configure one Run call.
+type BatchOptions struct {
+	// Stop selects the early-cancellation policy.
+	Stop StopMode
+	// Retain lets each worker keep learned clauses, activities and phases
+	// across the tasks it processes in this batch (MiniSat-style
+	// incremental reuse); otherwise every task starts from the solver's
+	// pristine post-construction state, which makes its cost independent
+	// of scheduling.
+	Retain bool
+	// Budget bounds the effort spent on a single task (0 fields mean
+	// unlimited).
+	Budget solver.Budget
+	// CostMetric selects the unit of TaskResult.Cost.
+	CostMetric solver.CostMetric
+}
+
+// Transport runs batches of tasks for one fixed formula.  Implementations
+// must return one TaskResult per task (see the package comment for the
+// exact contract).  A Transport is bound to the formula it was created
+// with; the pdsat Runner using it must be built on the same formula.
+type Transport interface {
+	// Run distributes the tasks, waits for the batch to finish (or be
+	// cancelled) and returns the results in completion order.
+	Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]TaskResult, error)
+	// Workers reports the current solving capacity (number of concurrent
+	// subproblem slots).
+	Workers() int
+	// Close releases the transport's resources.  Closing the default
+	// in-process transport is a no-op; closing a network leader
+	// disconnects its workers.
+	Close() error
+}
+
+// checkBatch validates the index contract shared by every backend.
+func checkBatch(tasks []Task) error {
+	seen := make([]bool, len(tasks))
+	for _, t := range tasks {
+		if t.Index < 0 || t.Index >= len(tasks) || seen[t.Index] {
+			return fmt.Errorf("cluster: batch task indices must be a permutation of 0..%d (got index %d)",
+				len(tasks)-1, t.Index)
+		}
+		seen[t.Index] = true
+	}
+	return nil
+}

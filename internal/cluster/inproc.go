@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Inproc is the in-process Transport: tasks run on goroutines in the
+// current process, each owning one persistent solver drawn from a pool that
+// survives across batches, so the clause database and watch lists are built
+// once per worker instead of once per subproblem.
+//
+// In pristine (non-Retain) batches every task starts with a solver.Reset,
+// which makes the observed cost of a subproblem identical to what a freshly
+// constructed solver would measure; fixed-seed estimates are therefore
+// bit-for-bit independent of the pooling and of scheduling.
+type Inproc struct {
+	formula *cnf.Formula
+	opts    solver.Options
+	workers int
+
+	// poolMu guards pool, the persistent per-worker solvers reused across
+	// batches.  A solver is taken from the pool for the lifetime of one
+	// worker goroutine and returned when the worker exits.  In pristine
+	// batches every subproblem starts with a Reset, so any pooled solver is
+	// interchangeable with any other; retain-mode workers instead carry
+	// learned clauses and activities in the pooled solver and must rebase
+	// budgets and activity diffs onto its cumulative counters.
+	poolMu sync.Mutex
+	pool   []*solver.Solver
+}
+
+// NewInproc creates an in-process transport for the formula.  workers is
+// the number of concurrent solver goroutines (0 or negative means
+// GOMAXPROCS); opts configures the shared pooled solvers.
+func NewInproc(f *cnf.Formula, workers int, opts solver.Options) *Inproc {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.VarDecay == 0 {
+		opts = solver.DefaultOptions()
+	}
+	return &Inproc{formula: f, opts: opts, workers: workers}
+}
+
+// Workers reports the number of concurrent solver goroutines per batch.
+func (t *Inproc) Workers() int { return t.workers }
+
+// Close implements Transport; the pooled solvers are simply released to the
+// garbage collector.
+func (t *Inproc) Close() error { return nil }
+
+// acquire hands out a persistent solver for one worker goroutine, creating
+// it on first use.
+func (t *Inproc) acquire() *solver.Solver {
+	t.poolMu.Lock()
+	if n := len(t.pool); n > 0 {
+		s := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		t.poolMu.Unlock()
+		return s
+	}
+	t.poolMu.Unlock()
+	return solver.New(t.formula, t.opts)
+}
+
+// release returns a worker's solver to the pool.
+func (t *Inproc) release(s *solver.Solver) {
+	t.poolMu.Lock()
+	t.pool = append(t.pool, s)
+	t.poolMu.Unlock()
+}
+
+// PoolSize reports how many persistent solvers are currently parked in the
+// pool (i.e. not held by a running worker goroutine).
+func (t *Inproc) PoolSize() int {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	return len(t.pool)
+}
+
+// PooledSolvers returns a snapshot of the parked persistent solvers, for
+// diagnostics and accounting tests (e.g. comparing a retain-mode solver's
+// cumulative conflict activity against the absorbed totals).  The solvers
+// are shared, not copies: callers must not use them while a batch runs.
+func (t *Inproc) PooledSolvers() []*solver.Solver {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	return append([]*solver.Solver(nil), t.pool...)
+}
+
+// Run distributes the tasks over the worker goroutines and collects one
+// result per task, in completion order.
+func (t *Inproc) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]TaskResult, error) {
+	if err := checkBatch(tasks); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := t.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan Task)
+	// Exactly one result is emitted per task — by the worker that received
+	// it, or by the producer for a task cancelled before it could be handed
+	// out — so a len(tasks) buffer keeps every send non-blocking.
+	resCh := make(chan TaskResult, len(tasks))
+	innerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw := newSolveWorker(t, opts.Retain)
+			defer sw.close()
+			for tk := range taskCh {
+				if innerCtx.Err() != nil {
+					resCh <- TaskResult{Index: tk.Index, Status: solver.Unknown}
+					continue
+				}
+				resCh <- sw.solveTask(innerCtx, tk, opts)
+			}
+		}()
+	}
+
+	go func() {
+		defer close(taskCh)
+		for _, tk := range tasks {
+			select {
+			case taskCh <- tk:
+			case <-innerCtx.Done():
+				// Drain remaining tasks as cancelled results so indices stay
+				// complete.
+				resCh <- TaskResult{Index: tk.Index, Status: solver.Unknown}
+			}
+		}
+	}()
+
+	results := make([]TaskResult, 0, len(tasks))
+	for len(results) < len(tasks) {
+		res := <-resCh
+		results = append(results, res)
+		if stopTriggered(opts.Stop, res.Status) {
+			cancel()
+		}
+	}
+	wg.Wait()
+	close(resCh)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// stopTriggered reports whether a result's status cancels the batch under
+// the given stop policy.
+func stopTriggered(mode StopMode, st solver.Status) bool {
+	switch mode {
+	case StopOnSat:
+		return st == solver.Sat
+	case StopOnDecided:
+		return st == solver.Sat || st == solver.Unsat
+	default:
+		return false
+	}
+}
+
+// solveWorker is the per-goroutine solving state: one persistent pooled
+// solver plus the scratch needed to attribute statistics and conflict
+// activity to individual tasks when the solver outlives them.  The network
+// worker (worker.go) reuses it for its local solving slots.
+type solveWorker struct {
+	transport *Inproc
+	solver    *solver.Solver
+	retain    bool
+	// prevAct is the solver's cumulative conflict activity after the
+	// previous task (retain mode only); the per-task contribution is the
+	// difference, since conflict activity grows monotonically.
+	prevAct []float64
+}
+
+// newSolveWorker draws a pooled solver for one worker goroutine.
+func newSolveWorker(t *Inproc, retain bool) *solveWorker {
+	sw := &solveWorker{transport: t, solver: t.acquire(), retain: retain}
+	if retain {
+		// A pooled solver may carry conflict activity from a previous batch
+		// that was already absorbed by the caller; without a Reset to zero
+		// it, the per-task diff must start from the current cumulative
+		// values.
+		sw.prevAct = sw.solver.ConflictActivities()
+	}
+	return sw
+}
+
+// close returns the pooled solver.
+func (w *solveWorker) close() { w.transport.release(w.solver) }
+
+// searchAllowance is the search effort a budget leaves after charging the
+// construction baseline (0 if the baseline alone exhausts it, which makes
+// the budget trip immediately, exactly like a fresh solver).
+func searchAllowance(budget, base uint64) uint64 {
+	if budget <= base {
+		return 0
+	}
+	return budget - base
+}
+
+// solveTask solves one subproblem on the worker's persistent solver.  The
+// reported cost is the equivalent of a fresh solver's lifetime effort —
+// construction-time (root-level) propagation plus the search under the
+// assumptions — because each member of a decomposition family is
+// conceptually solved from scratch, exactly as the paper's modified MiniSat
+// re-reads C[X̃/α] for every subproblem.  Counting only the post-assumption
+// search would report zero cost for subproblems already decided by root
+// propagation.
+//
+// In pristine mode solver.Reset makes the search (and therefore the cost)
+// bit-for-bit identical to a fresh solver's.  In retain mode the search
+// benefits from previously learned clauses; the cost is the construction
+// baseline plus this call's actual effort.
+func (w *solveWorker) solveTask(ctx context.Context, t Task, opts BatchOptions) TaskResult {
+	if t.Options != nil {
+		return solveOverrideTask(ctx, w.transport.formula, t, opts)
+	}
+	s := w.solver
+	start := time.Now()
+	if w.retain {
+		s.ClearInterrupt()
+		// The solver's counters are cumulative across tasks, so a per-task
+		// effort budget must be rebased onto the current totals.  Like a
+		// fresh solver (whose lifetime counters include construction), the
+		// budget charges the construction baseline, so the per-task search
+		// allowance is budget minus baseline in both modes.
+		b := opts.Budget
+		base := s.BaseStats()
+		if b.MaxConflicts > 0 {
+			b.MaxConflicts = s.Stats().Conflicts + searchAllowance(b.MaxConflicts, base.Conflicts)
+		}
+		if b.MaxPropagations > 0 {
+			b.MaxPropagations = s.Stats().Propagations + searchAllowance(b.MaxPropagations, base.Propagations)
+		}
+		s.SetBudget(b)
+	} else {
+		s.Reset()
+		s.SetBudget(opts.Budget)
+	}
+	res, cancelled := solveInterruptibly(ctx, s, t.Assumptions)
+	var taskStats solver.Stats
+	var actVars []float64
+	if w.retain {
+		taskStats = s.BaseStats().Add(res.Stats)
+		cur := s.ConflictActivities()
+		actVars = make([]float64, len(cur))
+		for v := range cur {
+			prev := 0.0
+			if v < len(w.prevAct) {
+				prev = w.prevAct[v]
+			}
+			actVars[v] = cur[v] - prev
+		}
+		w.prevAct = cur
+	} else {
+		// Reset rebased the stats to the construction baseline and zeroed
+		// the conflict activities, so the lifetime values are per-task.
+		taskStats = s.Stats()
+		actVars = s.ConflictActivities()
+	}
+	taskStats.SolveTime = time.Since(start)
+	return TaskResult{
+		Index:       t.Index,
+		Cost:        solver.EffortCost(taskStats, opts.CostMetric),
+		Status:      res.Status,
+		Model:       res.Model,
+		ActVars:     actVars,
+		Stats:       taskStats,
+		Started:     true,
+		Interrupted: res.Interrupted,
+		Cancelled:   cancelled,
+	}
+}
+
+// solveOverrideTask solves a task that carries its own solver configuration
+// (a portfolio member) on a fresh throwaway solver.  Its Stats cover the
+// solve call only, matching the portfolio's per-member accounting.
+func solveOverrideTask(ctx context.Context, f *cnf.Formula, t Task, opts BatchOptions) TaskResult {
+	s := solver.New(f, *t.Options)
+	s.SetBudget(opts.Budget)
+	start := time.Now()
+	res, cancelled := solveInterruptibly(ctx, s, t.Assumptions)
+	stats := res.Stats
+	stats.SolveTime = time.Since(start)
+	return TaskResult{
+		Index:       t.Index,
+		Cost:        solver.EffortCost(stats, opts.CostMetric),
+		Status:      res.Status,
+		Model:       res.Model,
+		ActVars:     s.ConflictActivities(),
+		Stats:       stats,
+		Started:     true,
+		Interrupted: res.Interrupted,
+		Cancelled:   cancelled,
+	}
+}
+
+// solveInterruptibly runs one solve and converts a context cancellation
+// into the solver's non-blocking interrupt, mirroring the paper's modified
+// MiniSat that polls for leader messages during search.  cancelled reports
+// that the solve ended inconclusively because of the cancellation (and not,
+// say, its own budget): its cost then undercounts the subproblem.
+func solveInterruptibly(ctx context.Context, s *solver.Solver, assumptions []cnf.Lit) (res solver.Result, cancelled bool) {
+	done := make(chan struct{})
+	go func() {
+		res = s.SolveWithAssumptions(assumptions)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.Interrupt()
+		<-done
+		// A solve that still concluded (the interrupt raced with a normal
+		// finish) produced a complete cost; only inconclusive ones are
+		// truncated.
+		cancelled = res.Status == solver.Unknown
+	}
+	return res, cancelled
+}

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// ErrClosed is returned by Leader methods after Close.
+var ErrClosed = errors.New("cluster: leader is closed")
+
+// LeaderOptions configure a network leader.
+type LeaderOptions struct {
+	// SolverOptions is the shared solver configuration shipped to every
+	// worker at registration (zero value: solver.DefaultOptions).
+	SolverOptions solver.Options
+	// Heartbeat is the ping interval; a worker silent for several
+	// intervals is declared lost and its in-flight tasks are requeued
+	// (0 means a 1s default).
+	Heartbeat time.Duration
+	// Logf, when non-nil, receives human-readable cluster events (worker
+	// joins, losses, requeues).
+	Logf func(format string, args ...any)
+}
+
+// Leader is the network Transport: it accepts worker registrations on a TCP
+// listener, ships each worker the formula once, streams task batches to
+// them, and collects results.  It implements the leader role of the paper's
+// MPI program PDSAT, including its non-blocking interrupt messages
+// (stop-on-SAT and cancellation reach workers without waiting for them to
+// finish their current subproblem).
+//
+// Run dispatches only to remote workers; the leader process itself solves
+// nothing, like the PDSAT control process.  Workers may join at any time —
+// including in the middle of a batch — and a worker whose connection is
+// lost has its outstanding tasks requeued onto the remaining workers, so a
+// batch survives worker churn as long as at least one worker eventually
+// serves it.
+type Leader struct {
+	ln      net.Listener
+	formula *cnf.Formula
+	opts    LeaderOptions
+
+	mu       sync.Mutex
+	workers  map[uint64]*remoteWorker
+	nextID   uint64
+	batch    *netBatch
+	batchSeq uint64
+	closed   bool
+
+	// runMu serializes Run calls: the wire protocol tracks one active
+	// batch at a time.
+	runMu sync.Mutex
+}
+
+// remoteWorker is the leader-side state of one registered worker.
+type remoteWorker struct {
+	id       uint64
+	name     string
+	capacity int
+	w        *wire
+	// gone and inflight are guarded by Leader.mu.
+	gone     bool
+	inflight map[int]Task
+	// done is closed when the worker is dropped; it stops the pinger.
+	done chan struct{}
+}
+
+// netBatch is the leader-side state of one Run call (guarded by Leader.mu).
+type netBatch struct {
+	id        uint64
+	opts      BatchOptions
+	pending   []Task
+	got       []bool
+	results   []TaskResult
+	remaining int
+	cancelled bool
+	wake      chan struct{} // capacity 1; non-blocking notifications
+}
+
+// Listen starts a leader for the formula on the given TCP address
+// (host:port; port 0 picks a free port, see Addr).
+func Listen(addr string, f *cnf.Formula, opts LeaderOptions) (*Leader, error) {
+	if opts.SolverOptions.VarDecay == 0 {
+		opts.SolverOptions = solver.DefaultOptions()
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = defaultHeartbeat
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Leader{ln: ln, formula: f, opts: opts, workers: make(map[uint64]*remoteWorker)}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the address the leader is listening on.
+func (l *Leader) Addr() net.Addr { return l.ln.Addr() }
+
+func (l *Leader) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// Workers reports the summed capacity of the currently registered workers.
+func (l *Leader) Workers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0
+	for _, rw := range l.workers {
+		total += rw.capacity
+	}
+	return total
+}
+
+// WorkerCount reports how many workers are currently registered.
+func (l *Leader) WorkerCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.workers)
+}
+
+// WaitForWorkers blocks until at least n workers are registered, the
+// context is cancelled, or the leader is closed.
+func (l *Leader) WaitForWorkers(ctx context.Context, n int) error {
+	for {
+		l.mu.Lock()
+		count := len(l.workers)
+		closed := l.closed
+		l.mu.Unlock()
+		if count >= n {
+			return nil
+		}
+		if closed {
+			return ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops accepting workers, tells the registered ones to shut down and
+// disconnects them.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	ws := make([]*remoteWorker, 0, len(l.workers))
+	for _, rw := range l.workers {
+		ws = append(ws, rw)
+	}
+	if b := l.batch; b != nil {
+		wakeLocked(b)
+	}
+	l.mu.Unlock()
+
+	err := l.ln.Close()
+	for _, rw := range ws {
+		rw.w.send(&envelope{Kind: kindStop}) // best effort
+		l.dropWorker(rw, ErrClosed)
+	}
+	return err
+}
+
+// acceptLoop registers incoming workers until the listener closes.
+func (l *Leader) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		go l.handleConn(conn)
+	}
+}
+
+// handleConn performs the registration handshake and then runs the per-
+// worker read loop.
+func (l *Leader) handleConn(conn net.Conn) {
+	w := newWire(conn)
+	env, err := w.recv(handshakeTimeout)
+	if err != nil {
+		w.close()
+		return
+	}
+	if err := checkHello(env); err != nil {
+		w.send(&envelope{Kind: kindStop, Err: err.Error()})
+		w.close()
+		l.logf("cluster: rejected worker from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	welcome := &envelope{
+		Kind:          kindWelcome,
+		Formula:       l.formula,
+		SolverOptions: &l.opts.SolverOptions,
+		Heartbeat:     l.opts.Heartbeat,
+	}
+	if err := w.send(welcome); err != nil {
+		w.close()
+		return
+	}
+
+	rw := &remoteWorker{
+		name:     env.Name,
+		capacity: env.Capacity,
+		w:        w,
+		inflight: make(map[int]Task),
+		done:     make(chan struct{}),
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		w.send(&envelope{Kind: kindStop})
+		w.close()
+		return
+	}
+	l.nextID++
+	rw.id = l.nextID
+	l.workers[rw.id] = rw
+	b := l.batch
+	if b != nil {
+		wakeLocked(b) // a running batch can start using the newcomer
+	}
+	l.mu.Unlock()
+	l.logf("cluster: worker %q joined from %s with %d slot(s)", rw.name, conn.RemoteAddr(), rw.capacity)
+
+	go l.ping(rw)
+
+	for {
+		env, err := w.recv(l.opts.Heartbeat * readGraceFactor)
+		if err != nil {
+			l.dropWorker(rw, err)
+			return
+		}
+		switch env.Kind {
+		case kindResult:
+			l.deliver(rw, env)
+		case kindPong, kindHello:
+			// Liveness is implied by the successful read.
+		}
+	}
+}
+
+// ping sends heartbeats until the worker is dropped.
+func (l *Leader) ping(rw *remoteWorker) {
+	t := time.NewTicker(l.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-rw.done:
+			return
+		case <-t.C:
+			if err := rw.w.send(&envelope{Kind: kindPing}); err != nil {
+				l.dropWorker(rw, err)
+				return
+			}
+		}
+	}
+}
+
+// dropWorker unregisters a worker and requeues its in-flight tasks onto the
+// active batch (as pending work, or as cancelled placeholders if the batch
+// is already cancelled).  It is idempotent.
+func (l *Leader) dropWorker(rw *remoteWorker, cause error) {
+	l.mu.Lock()
+	if rw.gone {
+		l.mu.Unlock()
+		return
+	}
+	rw.gone = true
+	delete(l.workers, rw.id)
+	requeued := 0
+	if b := l.batch; b != nil {
+		for idx, t := range rw.inflight {
+			if b.got[idx] {
+				continue
+			}
+			if b.cancelled {
+				placeholderLocked(b, idx)
+			} else {
+				b.pending = append(b.pending, t)
+				requeued++
+			}
+		}
+		wakeLocked(b)
+	}
+	rw.inflight = nil
+	l.mu.Unlock()
+
+	close(rw.done)
+	rw.w.close()
+	if requeued > 0 {
+		l.logf("cluster: worker %q lost (%v); requeued %d task(s)", rw.name, cause, requeued)
+	} else {
+		l.logf("cluster: worker %q disconnected (%v)", rw.name, cause)
+	}
+}
+
+// deliver records one result from a worker into the active batch.
+func (l *Leader) deliver(rw *remoteWorker, env *envelope) {
+	if env.Result == nil {
+		return
+	}
+	res := env.Result.taskResult()
+	l.mu.Lock()
+	b := l.batch
+	if b == nil || env.Batch != b.id || res.Index < 0 || res.Index >= len(b.got) {
+		// Stale result from a finished or cancelled batch (e.g. a worker
+		// that was presumed lost and answered late).
+		l.mu.Unlock()
+		return
+	}
+	delete(rw.inflight, res.Index)
+	if b.got[res.Index] {
+		l.mu.Unlock()
+		return
+	}
+	b.got[res.Index] = true
+	b.results = append(b.results, res)
+	b.remaining--
+	broadcast := false
+	if stopTriggered(b.opts.Stop, res.Status) && !b.cancelled {
+		cancelLocked(b)
+		broadcast = true
+	}
+	id := b.id
+	wakeLocked(b)
+	l.mu.Unlock()
+	if broadcast {
+		l.broadcastInterrupt(id)
+	}
+}
+
+// cancelLocked marks the batch cancelled and converts its not-yet-assigned
+// tasks into placeholder results (callers hold Leader.mu).
+func cancelLocked(b *netBatch) {
+	b.cancelled = true
+	for _, t := range b.pending {
+		placeholderLocked(b, t.Index)
+	}
+	b.pending = nil
+}
+
+// placeholderLocked records a cancelled-before-start result (callers hold
+// Leader.mu).
+func placeholderLocked(b *netBatch, idx int) {
+	if b.got[idx] {
+		return
+	}
+	b.got[idx] = true
+	b.results = append(b.results, TaskResult{Index: idx, Status: solver.Unknown})
+	b.remaining--
+}
+
+// wakeLocked nudges the Run loop (callers hold Leader.mu).
+func wakeLocked(b *netBatch) {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// broadcastInterrupt tells every worker to abandon the batch.  This is the
+// leader's non-blocking interrupt: workers poll for it mid-search.
+func (l *Leader) broadcastInterrupt(batchID uint64) {
+	l.mu.Lock()
+	ws := make([]*remoteWorker, 0, len(l.workers))
+	for _, rw := range l.workers {
+		ws = append(ws, rw)
+	}
+	l.mu.Unlock()
+	for _, rw := range ws {
+		if err := rw.w.send(&envelope{Kind: kindInterrupt, Batch: batchID}); err != nil {
+			l.dropWorker(rw, err)
+		}
+	}
+}
+
+// assign hands pending tasks to workers with spare slots.  Each worker is
+// kept at most two full capacities deep, so there is always a queued chunk
+// hiding the network round-trip while results stream back.
+func (l *Leader) assign(b *netBatch) {
+	type chunk struct {
+		rw    *remoteWorker
+		tasks []Task
+	}
+	var sends []chunk
+	l.mu.Lock()
+	if l.batch != b || b.cancelled || len(b.pending) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	for _, rw := range l.workers {
+		spare := rw.capacity*2 - len(rw.inflight)
+		if spare <= 0 {
+			continue
+		}
+		if spare > len(b.pending) {
+			spare = len(b.pending)
+		}
+		ck := append([]Task(nil), b.pending[:spare]...)
+		b.pending = b.pending[spare:]
+		for _, t := range ck {
+			rw.inflight[t.Index] = t
+		}
+		sends = append(sends, chunk{rw, ck})
+		if len(b.pending) == 0 {
+			break
+		}
+	}
+	id, opts := b.id, b.opts
+	l.mu.Unlock()
+	for _, c := range sends {
+		if err := c.rw.w.send(&envelope{Kind: kindTasks, Batch: id, Opts: &opts, Tasks: c.tasks}); err != nil {
+			// dropWorker requeues the chunk we just marked in-flight.
+			l.dropWorker(c.rw, err)
+		}
+	}
+}
+
+// Run implements Transport: it streams the tasks to the registered workers
+// and collects one result per task.  If no worker is registered, Run waits
+// for one to join (bound the wait with the context or WaitForWorkers).
+func (l *Leader) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]TaskResult, error) {
+	if err := checkBatch(tasks); err != nil {
+		return nil, err
+	}
+	l.runMu.Lock()
+	defer l.runMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l.batchSeq++
+	b := &netBatch{
+		id:        l.batchSeq,
+		opts:      opts,
+		pending:   append([]Task(nil), tasks...),
+		got:       make([]bool, len(tasks)),
+		results:   make([]TaskResult, 0, len(tasks)),
+		remaining: len(tasks),
+		wake:      make(chan struct{}, 1),
+	}
+	l.batch = b
+	l.mu.Unlock()
+
+	defer func() {
+		l.mu.Lock()
+		l.batch = nil
+		for _, rw := range l.workers {
+			rw.inflight = make(map[int]Task)
+		}
+		l.mu.Unlock()
+		// Idempotent batch teardown: workers drop any leftover batch state.
+		l.broadcastInterrupt(b.id)
+	}()
+
+	// The ticker is a backstop for assignment opportunities that produce no
+	// wake (and for requeues racing with the loop); every state change also
+	// nudges b.wake directly.
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	ctxDone := ctx.Done()
+	for {
+		l.assign(b)
+		l.mu.Lock()
+		done := b.remaining == 0
+		closed := l.closed
+		l.mu.Unlock()
+		if done {
+			break
+		}
+		if closed {
+			return l.snapshotResults(b), ErrClosed
+		}
+		select {
+		case <-b.wake:
+		case <-ticker.C:
+		case <-ctxDone:
+			// First cancellation notice: convert unassigned tasks into
+			// placeholders and interrupt the workers, then keep collecting
+			// the in-flight results (workers answer promptly once
+			// interrupted; a hung worker is eventually declared lost by the
+			// heartbeat, which converts its tasks into placeholders too).
+			ctxDone = nil
+			l.mu.Lock()
+			broadcast := !b.cancelled
+			if broadcast {
+				cancelLocked(b)
+			}
+			l.mu.Unlock()
+			if broadcast {
+				l.broadcastInterrupt(b.id)
+			}
+		}
+	}
+	results := l.snapshotResults(b)
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// snapshotResults copies the batch results under the lock (late stale
+// deliveries may still append concurrently on abnormal exits).
+func (l *Leader) snapshotResults(b *netBatch) []TaskResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TaskResult(nil), b.results...)
+}

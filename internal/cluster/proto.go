@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// protocolVersion guards against mixing incompatible leader and worker
+// binaries; bump it whenever the envelope or the solver result layout
+// changes incompatibly.
+const protocolVersion = 1
+
+// Wire timeouts shared by both sides.
+const (
+	defaultHeartbeat = 1 * time.Second
+	dialTimeout      = 5 * time.Second
+	handshakeTimeout = 10 * time.Second
+	writeTimeout     = 15 * time.Second
+	// readGraceFactor scales the heartbeat interval into a read deadline:
+	// each side hears from its peer at least once per heartbeat (pings one
+	// way, pongs the other), so a silence of several intervals means the
+	// peer or the link is gone.
+	readGraceFactor = 5
+)
+
+// msgKind discriminates envelope payloads.
+type msgKind uint8
+
+const (
+	// kindHello is the worker's registration: protocol version + capacity.
+	kindHello msgKind = iota + 1
+	// kindWelcome is the leader's reply: the formula, the shared solver
+	// options and the heartbeat interval.
+	kindWelcome
+	// kindTasks streams a chunk of a batch to a worker.
+	kindTasks
+	// kindResult returns one task result to the leader.
+	kindResult
+	// kindInterrupt tells a worker to abandon a batch: interrupt in-flight
+	// solves, drain queued tasks as placeholders.  It is the non-blocking
+	// leader→worker message of the paper's modified MiniSat.
+	kindInterrupt
+	// kindPing / kindPong are heartbeats (leader pings, worker pongs).
+	kindPing
+	kindPong
+	// kindStop shuts a worker down for good (leader closing).
+	kindStop
+)
+
+// envelope is the single gob-encoded message type exchanged on a cluster
+// connection; Kind selects which fields are meaningful.
+type envelope struct {
+	Kind msgKind
+
+	// kindHello
+	Proto    int
+	Capacity int
+	Name     string
+
+	// kindWelcome
+	Formula       *cnf.Formula
+	SolverOptions *solver.Options
+	Heartbeat     time.Duration
+
+	// kindTasks / kindResult / kindInterrupt
+	Batch uint64
+	Opts  *BatchOptions
+	Tasks []Task
+
+	// kindResult
+	Result *wireResult
+
+	// kindStop
+	Err string
+}
+
+// wireResult is TaskResult with the conflict-activity vector stored
+// sparsely: ActVars is a dense O(NumVars) float64 slice that is mostly
+// zeros for easy subproblems, and one is shipped per task result, so the
+// dense form would dominate the transport's bandwidth on large formulas.
+type wireResult struct {
+	Index       int
+	Cost        float64
+	Status      solver.Status
+	Model       cnf.Assignment
+	Stats       solver.Stats
+	Started     bool
+	Interrupted bool
+	Cancelled   bool
+	// ActLen is len(TaskResult.ActVars); ActIdx/ActVal hold its non-zero
+	// entries.
+	ActLen int
+	ActIdx []int32
+	ActVal []float64
+}
+
+// toWire converts a result for transmission.
+func toWire(r *TaskResult) *wireResult {
+	w := &wireResult{
+		Index:       r.Index,
+		Cost:        r.Cost,
+		Status:      r.Status,
+		Model:       r.Model,
+		Stats:       r.Stats,
+		Started:     r.Started,
+		Interrupted: r.Interrupted,
+		Cancelled:   r.Cancelled,
+		ActLen:      len(r.ActVars),
+	}
+	for i, v := range r.ActVars {
+		if v != 0 {
+			w.ActIdx = append(w.ActIdx, int32(i))
+			w.ActVal = append(w.ActVal, v)
+		}
+	}
+	return w
+}
+
+// taskResult reconstructs the dense result.
+func (w *wireResult) taskResult() TaskResult {
+	r := TaskResult{
+		Index:       w.Index,
+		Cost:        w.Cost,
+		Status:      w.Status,
+		Model:       w.Model,
+		Stats:       w.Stats,
+		Started:     w.Started,
+		Interrupted: w.Interrupted,
+		Cancelled:   w.Cancelled,
+	}
+	if w.ActLen > 0 {
+		r.ActVars = make([]float64, w.ActLen)
+		for i, idx := range w.ActIdx {
+			if int(idx) < w.ActLen && i < len(w.ActVal) {
+				r.ActVars[idx] = w.ActVal[i]
+			}
+		}
+	}
+	return r
+}
+
+// wire wraps one duplex gob connection with serialized, deadline-guarded
+// writes (gob encoders are not safe for concurrent use).
+type wire struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// send encodes one envelope under the write deadline.
+func (w *wire) send(env *envelope) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.conn.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+		return err
+	}
+	return w.enc.Encode(env)
+}
+
+// recv decodes one envelope, allowing at most timeout of silence (0 means
+// no deadline).
+func (w *wire) recv(timeout time.Duration) (*envelope, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := w.conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := w.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+func (w *wire) close() error { return w.conn.Close() }
+
+// helloFor builds a worker registration message.
+func helloFor(name string, capacity int) *envelope {
+	return &envelope{Kind: kindHello, Proto: protocolVersion, Capacity: capacity, Name: name}
+}
+
+// checkHello validates a registration.
+func checkHello(env *envelope) error {
+	if env.Kind != kindHello {
+		return fmt.Errorf("cluster: expected hello, got message kind %d", env.Kind)
+	}
+	if env.Proto != protocolVersion {
+		return fmt.Errorf("cluster: protocol version mismatch: leader speaks %d, worker %d",
+			protocolVersion, env.Proto)
+	}
+	if env.Capacity <= 0 {
+		return fmt.Errorf("cluster: worker registered with non-positive capacity %d", env.Capacity)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// requeueFormula builds a small formula with enough search effort per
+// subproblem to keep tasks in flight: a chain of equivalences plus a few
+// xor-ish clauses.
+func requeueFormula() *cnf.Formula {
+	f := cnf.New(24)
+	for v := 1; v < 24; v++ {
+		a, b := cnf.Var(v), cnf.Var(v+1)
+		f.AddClauseLits(cnf.NewLit(a, false), cnf.NewLit(b, true))
+		f.AddClauseLits(cnf.NewLit(a, true), cnf.NewLit(b, false))
+	}
+	f.AddClauseLits(cnf.NewLit(1, true), cnf.NewLit(12, true), cnf.NewLit(24, true))
+	return f
+}
+
+// requeueTasks makes one task per assignment of variables 1..2 plus extras,
+// all indices 0..n-1.
+func requeueTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		v1 := cnf.NewLit(1, i%2 == 0)
+		v2 := cnf.NewLit(2, (i/2)%2 == 0)
+		tasks[i] = Task{Index: i, Assumptions: []cnf.Lit{v1, v2}}
+	}
+	return tasks
+}
+
+// fakeWorker speaks just enough of the wire protocol to register, receive a
+// chunk of tasks, and then vanish without answering — the worker-loss
+// scenario the leader must absorb by requeuing.
+func fakeWorker(t *testing.T, addr string, capacity int, gotTasks chan<- int) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		t.Errorf("fake worker dial: %v", err)
+		close(gotTasks)
+		return
+	}
+	w := newWire(conn)
+	defer w.close()
+	if err := w.send(helloFor("fake", capacity)); err != nil {
+		t.Errorf("fake worker hello: %v", err)
+		close(gotTasks)
+		return
+	}
+	if _, err := w.recv(handshakeTimeout); err != nil { // welcome
+		t.Errorf("fake worker welcome: %v", err)
+		close(gotTasks)
+		return
+	}
+	for {
+		env, err := w.recv(10 * time.Second)
+		if err != nil {
+			t.Errorf("fake worker waiting for tasks: %v", err)
+			close(gotTasks)
+			return
+		}
+		switch env.Kind {
+		case kindPing:
+			if err := w.send(&envelope{Kind: kindPong}); err != nil {
+				t.Errorf("fake worker pong: %v", err)
+				close(gotTasks)
+				return
+			}
+		case kindTasks:
+			// Took a chunk, now die without answering.
+			gotTasks <- len(env.Tasks)
+			close(gotTasks)
+			return
+		}
+	}
+}
+
+// TestWorkerDisconnectRequeues kills a worker that has accepted tasks and
+// checks that the leader requeues them onto a later-joining worker: the
+// batch still completes with every task actually solved (no cancelled
+// placeholders), and the results match the in-process transport exactly.
+func TestWorkerDisconnectRequeues(t *testing.T) {
+	f := requeueFormula()
+	leader, err := Listen("127.0.0.1:0", f, LeaderOptions{
+		Heartbeat: 100 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	addr := leader.Addr().String()
+
+	// The doomed worker registers first and receives the initial chunk.
+	gotTasks := make(chan int, 1)
+	go fakeWorker(t, addr, 4, gotTasks)
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	if err := leader.WaitForWorkers(waitCtx, 1); err != nil {
+		t.Fatalf("fake worker did not register: %v", err)
+	}
+
+	tasks := requeueTasks(16)
+	opts := BatchOptions{CostMetric: solver.CostPropagations}
+	type runOutcome struct {
+		results []TaskResult
+		err     error
+	}
+	done := make(chan runOutcome, 1)
+	runCtx, runCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer runCancel()
+	go func() {
+		res, err := leader.Run(runCtx, tasks, opts)
+		done <- runOutcome{res, err}
+	}()
+
+	// Wait until the fake worker has actually been handed tasks and died.
+	n, ok := <-gotTasks
+	if ok && n == 0 {
+		t.Fatal("fake worker received an empty chunk")
+	}
+
+	// Now bring up a real worker; the leader must requeue the lost chunk
+	// onto it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = Serve(ctx, addr, WorkerOptions{Capacity: 2, Name: "survivor", Logf: t.Logf})
+	}()
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("Run after worker loss: %v", out.err)
+	}
+	if len(out.results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(out.results), len(tasks))
+	}
+	seen := make([]bool, len(tasks))
+	for _, res := range out.results {
+		if seen[res.Index] {
+			t.Fatalf("duplicate result for task %d", res.Index)
+		}
+		seen[res.Index] = true
+		if !res.Started {
+			t.Fatalf("task %d was never solved (lost instead of requeued)", res.Index)
+		}
+	}
+
+	// The requeued run must be bit-identical to the in-process transport.
+	want, err := NewInproc(f, 2, solver.DefaultOptions()).Run(context.Background(), tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByIdx := make([]TaskResult, len(tasks))
+	for _, res := range want {
+		wantByIdx[res.Index] = res
+	}
+	for _, res := range out.results {
+		w := wantByIdx[res.Index]
+		if res.Cost != w.Cost || res.Status != w.Status {
+			t.Fatalf("task %d differs after requeue: net cost %v status %v, inproc cost %v status %v",
+				res.Index, res.Cost, res.Status, w.Cost, w.Status)
+		}
+	}
+}
+
+// TestInprocStopOnDecided checks the portfolio stop policy on the
+// in-process backend: a batch with StopOnDecided is cancelled by the first
+// conclusive result.
+func TestInprocStopOnDecided(t *testing.T) {
+	f := requeueFormula()
+	tasks := requeueTasks(8)
+	results, err := NewInproc(f, 2, solver.DefaultOptions()).Run(context.Background(), tasks,
+		BatchOptions{Stop: StopOnDecided, CostMetric: solver.CostPropagations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(results), len(tasks))
+	}
+	decided := false
+	for _, res := range results {
+		if res.Status == solver.Sat || res.Status == solver.Unsat {
+			decided = true
+		}
+	}
+	if !decided {
+		t.Fatal("expected at least one conclusive result")
+	}
+}
+
+// TestBatchIndexValidation checks the shared index contract.
+func TestBatchIndexValidation(t *testing.T) {
+	f := requeueFormula()
+	tr := NewInproc(f, 1, solver.DefaultOptions())
+	_, err := tr.Run(context.Background(), []Task{{Index: 1}}, BatchOptions{})
+	if err == nil {
+		t.Fatal("expected an error for an out-of-range task index")
+	}
+	_, err = tr.Run(context.Background(), []Task{{Index: 0}, {Index: 0}}, BatchOptions{})
+	if err == nil {
+		t.Fatal("expected an error for duplicate task indices")
+	}
+}

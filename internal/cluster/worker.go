@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// ErrRejected marks a leader's explicit registration refusal (protocol
+// version mismatch, bad capacity).  It is permanent: Serve does not redial
+// on it, so an incompatible worker fails fast instead of reconnecting in a
+// loop.
+var ErrRejected = errors.New("cluster: leader rejected registration")
+
+// WorkerOptions configure a remote worker process.
+type WorkerOptions struct {
+	// Capacity is the number of concurrent solving slots (goroutines, each
+	// owning one persistent solver).  0 or negative means GOMAXPROCS.
+	Capacity int
+	// Name identifies the worker in the leader's logs (default: hostname).
+	Name string
+	// Redial, when positive, makes Serve reconnect after a lost connection
+	// instead of returning the error; the leader requeues whatever the
+	// worker had in flight either way.
+	Redial time.Duration
+	// Logf, when non-nil, receives human-readable worker events.
+	Logf func(format string, args ...any)
+}
+
+func (o *WorkerOptions) fill() {
+	if o.Capacity <= 0 {
+		o.Capacity = runtime.GOMAXPROCS(0)
+	}
+	if o.Name == "" {
+		if host, err := os.Hostname(); err == nil {
+			o.Name = host
+		} else {
+			o.Name = "worker"
+		}
+	}
+}
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Serve connects to the leader at addr, registers as a worker and processes
+// task batches until the context is cancelled or the leader shuts the
+// worker down (kindStop → nil).  With Redial set, connection failures lead
+// to reconnection attempts instead of an error return.
+//
+// The worker receives the formula once at registration and builds a local
+// in-process executor for it, so the persistent-solver reuse (pristine
+// Reset per task, or MiniSat-style retention in retain batches) works
+// exactly as it does for local goroutine workers.
+func Serve(ctx context.Context, addr string, opts WorkerOptions) error {
+	opts.fill()
+	for {
+		err := serveOnce(ctx, addr, &opts)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if opts.Redial <= 0 || errors.Is(err, ErrRejected) {
+			return err
+		}
+		opts.logf("cluster: connection to %s lost (%v); redialing in %v", addr, err, opts.Redial)
+		select {
+		case <-time.After(opts.Redial):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// serveOnce runs one connection's lifetime: dial, register, serve batches.
+func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	w := newWire(conn)
+	defer w.close()
+
+	// Unblock the read loop when the context is cancelled.
+	unwatch := make(chan struct{})
+	defer close(unwatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.close()
+		case <-unwatch:
+		}
+	}()
+
+	if err := w.send(helloFor(opts.Name, opts.Capacity)); err != nil {
+		return err
+	}
+	env, err := w.recv(handshakeTimeout)
+	if err != nil {
+		return err
+	}
+	var exec *Inproc
+	hb := defaultHeartbeat
+	switch env.Kind {
+	case kindWelcome:
+		if env.Formula == nil || env.SolverOptions == nil {
+			return fmt.Errorf("cluster: leader welcome carried no formula")
+		}
+		exec = NewInproc(env.Formula, opts.Capacity, *env.SolverOptions)
+		if env.Heartbeat > 0 {
+			hb = env.Heartbeat
+		}
+	case kindStop:
+		if env.Err != "" {
+			return fmt.Errorf("%w: %s", ErrRejected, env.Err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: expected welcome, got message kind %d", env.Kind)
+	}
+	opts.logf("cluster: registered with leader %s (%d variables, %d clauses, %d slot(s))",
+		addr, env.Formula.NumVars, env.Formula.NumClauses(), opts.Capacity)
+
+	var batch *workerBatch
+	// interrupted is the highest batch id the leader has told us to
+	// abandon.  Batch ids increase monotonically per leader, so a
+	// kindTasks chunk for a batch ≤ interrupted is a wire reordering: the
+	// leader's interrupt broadcast (sent by its read-loop goroutine)
+	// overtook a chunk its Run loop had already marked in-flight.  Such a
+	// chunk must be answered with cancelled placeholders — solving it
+	// would be uninterruptible (the batch's interrupt already went by),
+	// and dropping it silently would leave the leader waiting forever.
+	var interrupted uint64
+	// The closure re-reads batch at exit time; a plain `defer batch.stop()`
+	// would pin the nil receiver evaluated at the defer statement and leave
+	// the final batch's solves running after the connection drops.
+	defer func() { batch.stop() }()
+	for {
+		env, err := w.recv(hb * readGraceFactor)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		switch env.Kind {
+		case kindPing:
+			if err := w.send(&envelope{Kind: kindPong}); err != nil {
+				return err
+			}
+		case kindTasks:
+			if env.Opts == nil {
+				continue
+			}
+			if env.Batch <= interrupted {
+				for _, t := range env.Tasks {
+					res := TaskResult{Index: t.Index, Status: solver.Unknown}
+					if err := w.send(&envelope{Kind: kindResult, Batch: env.Batch, Result: toWire(&res)}); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if batch == nil || batch.id != env.Batch {
+				batch.stop()
+				batch = newWorkerBatch(env.Batch, *env.Opts, exec, w)
+			}
+			batch.q.push(env.Tasks)
+		case kindInterrupt:
+			if env.Batch > interrupted {
+				interrupted = env.Batch
+			}
+			if batch != nil && batch.id == env.Batch {
+				batch.stop()
+				batch = nil
+			}
+		case kindStop:
+			if env.Err != "" {
+				return fmt.Errorf("cluster: leader stopped worker: %s", env.Err)
+			}
+			opts.logf("cluster: leader %s shut this worker down", addr)
+			return nil
+		}
+	}
+}
+
+// workerBatch runs one batch's tasks on the local executor, streaming each
+// result back to the leader as soon as it is available.
+type workerBatch struct {
+	id     uint64
+	opts   BatchOptions
+	cancel context.CancelFunc
+	q      *taskQueue
+	wg     sync.WaitGroup
+}
+
+func newWorkerBatch(id uint64, opts BatchOptions, exec *Inproc, w *wire) *workerBatch {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &workerBatch{id: id, opts: opts, cancel: cancel, q: newTaskQueue()}
+	for i := 0; i < exec.Workers(); i++ {
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			sw := newSolveWorker(exec, opts.Retain)
+			defer sw.close()
+			for {
+				t, ok, cancelled := b.q.pop()
+				if !ok {
+					return
+				}
+				var res TaskResult
+				if cancelled || ctx.Err() != nil {
+					// Cancelled before a solver saw it: report a
+					// placeholder, exactly like the in-process producer
+					// draining its queue.
+					res = TaskResult{Index: t.Index, Status: solver.Unknown}
+				} else {
+					res = sw.solveTask(ctx, t, opts)
+				}
+				if err := w.send(&envelope{Kind: kindResult, Batch: id, Result: toWire(&res)}); err != nil {
+					// Connection gone; the read loop notices too.  Stop
+					// pulling work — the leader requeues it elsewhere.
+					b.q.cancelQueue()
+					return
+				}
+			}
+		}()
+	}
+	return b
+}
+
+// stop interrupts the batch's in-flight solves, drains its queue as
+// placeholders and waits for the slots to finish (returning their pooled
+// solvers).  It is nil-safe and idempotent.
+func (b *workerBatch) stop() {
+	if b == nil {
+		return
+	}
+	b.cancel()
+	b.q.cancelQueue()
+	b.wg.Wait()
+}
+
+// taskQueue is an unbounded FIFO of tasks with a cancellation flag: after
+// cancelQueue, remaining and future tasks are handed out flagged as
+// cancelled (the popper reports placeholders for them), and pop unblocks.
+type taskQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []Task
+	cancelled bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *taskQueue) push(tasks []Task) {
+	q.mu.Lock()
+	q.items = append(q.items, tasks...)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *taskQueue) cancelQueue() {
+	q.mu.Lock()
+	q.cancelled = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until a task is available or the queue is cancelled.  ok is
+// false when the queue is cancelled and empty; cancelled marks tasks that
+// must be reported as placeholders instead of solved.
+func (q *taskQueue) pop() (t Task, ok, cancelled bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.cancelled {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Task{}, false, false
+	}
+	t = q.items[0]
+	q.items = q.items[1:]
+	return t, true, q.cancelled
+}

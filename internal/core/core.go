@@ -102,6 +102,9 @@ func NewEngine(p *Problem, cfg Config) (*Engine, error) {
 	if len(p.StartSet) == 0 {
 		return nil, errors.New("core: empty starting decomposition set")
 	}
+	if err := cfg.Runner.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = DefaultConfig().Cores
 	}
@@ -138,13 +141,19 @@ type SetEstimate struct {
 	SatisfiableSamples int
 	// WallTime is the time spent computing the estimate.
 	WallTime time.Duration
+	// Interrupted reports whether the estimation was cancelled before the
+	// full sample was processed; the estimate is then partial (computed
+	// from the subproblems that did complete).
+	Interrupted bool
 }
 
 // EstimatePoint evaluates the predictive function at a point of the search
-// space.
+// space.  Like Runner.EvaluatePoint, a cancelled estimation returns the
+// partial estimate (marked Interrupted) together with the context's error,
+// so Ctrl-C still yields a report.
 func (e *Engine) EstimatePoint(ctx context.Context, p decomp.Point) (*SetEstimate, error) {
 	pe, err := e.runner.EvaluatePoint(ctx, p)
-	if err != nil {
+	if pe == nil {
 		return nil, err
 	}
 	return &SetEstimate{
@@ -154,7 +163,8 @@ func (e *Engine) EstimatePoint(ctx context.Context, p decomp.Point) (*SetEstimat
 		Cores:              e.cfg.Cores,
 		SatisfiableSamples: pe.SatisfiableSamples,
 		WallTime:           pe.WallTime,
-	}, nil
+		Interrupted:        pe.Interrupted,
+	}, err
 }
 
 // EstimateSet evaluates the predictive function for an explicit
@@ -222,9 +232,9 @@ func (e *Engine) searchFrom(ctx context.Context, method string, start decomp.Poi
 		return nil, err
 	}
 	best, err := e.EstimatePoint(ctx, res.BestPoint)
-	if err != nil {
+	if best == nil && err != nil {
 		// The search itself succeeded; return its result even if the final
-		// re-estimation was interrupted.
+		// re-estimation was interrupted before producing anything.
 		return &SearchOutcome{Method: method, Result: res}, nil
 	}
 	return &SearchOutcome{Method: method, Result: res, Best: best}, nil

@@ -101,10 +101,13 @@ func Experiments() []Experiment {
 			Description: "Weakened BiviumK/GrainK problems: predicted vs. measured cost of processing whole decomposition families",
 			Run: func(ctx context.Context, scale Scale) ([]*Table, error) {
 				r, err := RunTable3(ctx, scale)
-				if err != nil {
+				if r == nil {
 					return nil, err
 				}
-				return []*Table{r.Table3()}, nil
+				// On interruption r holds the rows finished so far; return
+				// them alongside the context error so the command can still
+				// print a partial table.
+				return []*Table{r.Table3()}, err
 			},
 		},
 		{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/encoder"
 	"repro/internal/montecarlo"
@@ -96,6 +97,14 @@ func RunTable3(ctx context.Context, scale Scale) (*Table3Result, error) {
 	for _, prob := range problems {
 		row, err := runWeakenedProblem(ctx, scale, prob)
 		if err != nil {
+			if cluster.IsInterruption(err) {
+				// Interrupted (Ctrl-C or -timeout): keep the rows finished
+				// so far and report them as a partial table.
+				if devCount > 0 {
+					res.MeanDeviation = devSum / float64(devCount)
+				}
+				return res, err
+			}
 			return nil, fmt.Errorf("expts: %s: %w", prob.Name, err)
 		}
 		res.Rows = append(res.Rows, *row)
@@ -151,6 +160,17 @@ func runWeakenedProblem(ctx context.Context, scale Scale, prob WeakenedProblem) 
 		report, err := eng.SolveWithSet(ctx, vars, pdsat.SolveOptions{})
 		if err != nil {
 			return nil, err
+		}
+		if report.Interrupted {
+			// Runner.Solve reports cancellation in the report rather than
+			// as an error; a truncated family measurement would corrupt
+			// this row (undercounted costs, bogus deviation), so discard
+			// the unfinished row and surface the interruption — RunTable3
+			// keeps the rows completed before it.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled
 		}
 		row.TotalCosts = append(row.TotalCosts, report.TotalCost)
 		row.FirstSatCosts = append(row.FirstSatCosts, report.CostToFirstSat)

@@ -196,6 +196,13 @@ func (s *search) evaluate(ctx context.Context, p decomp.Point) (float64, bool, e
 	}
 	v, err := s.obj.Evaluate(ctx, p)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The objective was interrupted by a cancellation that raced
+			// past the checkBudgets call above; end the search gracefully
+			// (best-so-far result, StopContext) instead of failing it.
+			s.stopped = StopContext
+			return 0, false, errStop
+		}
 		return 0, false, err
 	}
 	s.values[key] = v

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/encoder"
 	"repro/internal/solver"
 )
@@ -158,16 +159,14 @@ func TestRetainModeActivityNotDoubleCounted(t *testing.T) {
 	for v := range r.confAct {
 		absorbed += r.confAct[v]
 	}
-	r.poolMu.Lock()
-	if len(r.pool) != 1 {
-		r.poolMu.Unlock()
-		t.Fatalf("expected exactly one pooled solver, got %d", len(r.pool))
+	pooled := r.Transport().(*cluster.Inproc).PooledSolvers()
+	if len(pooled) != 1 {
+		t.Fatalf("expected exactly one pooled solver, got %d", len(pooled))
 	}
 	cumulative := 0.0
-	for _, a := range r.pool[0].ConflictActivities() {
+	for _, a := range pooled[0].ConflictActivities() {
 		cumulative += a
 	}
-	r.poolMu.Unlock()
 	if absorbed == 0 {
 		t.Fatal("expected some conflict activity on this instance")
 	}
@@ -188,9 +187,7 @@ func TestSolverPoolIsBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r.poolMu.Lock()
-	n := len(r.pool)
-	r.poolMu.Unlock()
+	n := r.Transport().(*cluster.Inproc).PoolSize()
 	if n == 0 || n > 3 {
 		t.Fatalf("pool holds %d solvers, want 1..3", n)
 	}

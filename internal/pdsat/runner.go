@@ -1,5 +1,5 @@
 // Package pdsat reproduces the leader/worker architecture of the MPI program
-// PDSAT used in the paper's experiments, on top of goroutines.
+// PDSAT used in the paper's experiments.
 //
 // The Runner has two modes, mirroring the paper:
 //
@@ -10,23 +10,27 @@
 //     Per-variable conflict activity is accumulated across the sample; the
 //     tabu search uses it to pick new neighbourhood centres.
 //
-// Each worker goroutine owns one persistent solver, drawn from a pool that
-// the Runner keeps across evaluations, so the clause database and watch
-// lists are built once per worker instead of once per subproblem.  In
-// estimation mode the solver is restored to its pristine state
-// (solver.Reset) before every subproblem, which makes the observed cost of a
-// subproblem identical to what a freshly constructed solver would measure —
-// the per-subproblem costs stay samples of the single well-defined random
-// variable the Monte Carlo method requires, and fixed-seed estimates are
-// bit-for-bit unchanged by the reuse.  In solving mode the Config.RetainLearned
-// option additionally allows MiniSat-style retention of learned clauses
-// across the subproblems a worker processes.
-//
 //   - Solving mode (Solve): all 2^d assignments of X̃ are enumerated and the
 //     corresponding subproblems are solved, optionally stopping at the first
 //     satisfiable one.  Workers honour interruption, like the modified
 //     MiniSat of the paper that stops on non-blocking messages from the
 //     leader.
+//
+// Where the subproblems actually run is decided by a cluster.Transport.  By
+// default the Runner owns a private in-process transport (cluster.Inproc):
+// worker goroutines with persistent pooled solvers, reused across
+// evaluations, so the clause database and watch lists are built once per
+// worker instead of once per subproblem.  Setting Config.Transport instead
+// targets remote machines through a network leader (cluster.Leader), which
+// reproduces the paper's multi-machine MPI deployment.  In estimation mode
+// every subproblem starts from the solver's pristine state (solver.Reset),
+// which makes the observed cost of a subproblem identical to what a freshly
+// constructed solver would measure — the per-subproblem costs stay samples
+// of the single well-defined random variable the Monte Carlo method
+// requires, and fixed-seed estimates are bit-for-bit identical across
+// backends and scheduling.  In solving mode the Config.RetainLearned option
+// additionally allows MiniSat-style retention of learned clauses across the
+// subproblems a worker processes.
 //
 // The predictive value is always computed for one CPU core; extrapolation to
 // k cores is a division (montecarlo.ExtrapolateCores), justified by the
@@ -42,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cnf"
 	"repro/internal/decomp"
 	"repro/internal/montecarlo"
@@ -51,10 +56,13 @@ import (
 // Config configures a Runner.
 type Config struct {
 	// SampleSize is N, the number of random subproblems per predictive
-	// function evaluation.
+	// function evaluation.  Zero means the DefaultConfig value; negative
+	// values are rejected (see Validate).
 	SampleSize int
-	// Workers is the number of computing processes (goroutines).  Zero
-	// means GOMAXPROCS.
+	// Workers is the number of computing processes (goroutines) of the
+	// default in-process transport.  Zero means GOMAXPROCS; negative
+	// values are rejected (see Validate).  It is ignored when Transport is
+	// set — the transport then decides the capacity.
 	Workers int
 	// Seed drives the random samples.
 	Seed int64
@@ -75,10 +83,32 @@ type Config struct {
 	// (EvaluatePoint) always uses pristine per-subproblem resets regardless
 	// of this flag.
 	RetainLearned bool
+	// Transport optionally overrides where subproblem batches run — e.g. a
+	// cluster.Leader dispatching to remote machines.  The transport must
+	// have been created for the same formula the Runner is built on.  Nil
+	// means a private in-process transport with Workers goroutines.  The
+	// Runner does not close the transport; its creator owns its lifetime.
+	Transport cluster.Transport
+}
+
+// Validate reports whether the configuration is usable.  Zero values are
+// fine (they select documented defaults); negative worker counts or sample
+// sizes are configuration mistakes and are rejected with a clear error
+// rather than being silently coerced.
+func (c Config) Validate() error {
+	if c.SampleSize < 0 {
+		return fmt.Errorf("pdsat: negative sample size %d (use 0 for the default of %d)",
+			c.SampleSize, DefaultConfig().SampleSize)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("pdsat: negative worker count %d (use 0 for all CPUs)", c.Workers)
+	}
+	return nil
 }
 
 // DefaultConfig returns a configuration suitable for the scaled-down
-// experiments: N=100 samples, conflicts as cost, all cores.
+// experiments: N=100 samples, conflicts as cost, an in-process transport
+// using all cores.
 func DefaultConfig() Config {
 	return Config{
 		SampleSize:    100,
@@ -94,6 +124,14 @@ func DefaultConfig() Config {
 type Runner struct {
 	formula *cnf.Formula
 	cfg     Config
+	// transport dispatches subproblem batches (Config.Transport, or a
+	// private in-process transport).
+	transport cluster.Transport
+	// cfgErr is the deferred Config.Validate error: NewRunner cannot
+	// return one without breaking every call site, so an invalid
+	// configuration surfaces on the first evaluation instead of panicking
+	// or hanging.
+	cfgErr error
 
 	mu sync.Mutex
 	// confAct accumulates per-variable conflict activity over every
@@ -105,20 +143,13 @@ type Runner struct {
 	subproblemsSolved int
 	// aggStats accumulates the per-subproblem solver statistics.
 	aggStats solver.Stats
-
-	// poolMu guards pool, the persistent per-worker solvers reused across
-	// evaluations.  A solver is taken from the pool for the lifetime of one
-	// worker goroutine and returned when the worker exits.  In pristine
-	// (estimation) mode every subproblem starts with a Reset, so any pooled
-	// solver is interchangeable with any other; retain-mode workers instead
-	// carry learned clauses and activities in the pooled solver and must
-	// rebase budgets and activity diffs onto its cumulative counters.
-	poolMu sync.Mutex
-	pool   []*solver.Solver
 }
 
-// NewRunner creates a runner for the formula.
+// NewRunner creates a runner for the formula.  An invalid configuration
+// (negative sample size or worker count) is reported by the first
+// evaluation or solve call; validate eagerly with Config.Validate.
 func NewRunner(f *cnf.Formula, cfg Config) *Runner {
+	cfgErr := cfg.Validate()
 	if cfg.SampleSize <= 0 {
 		cfg.SampleSize = DefaultConfig().SampleSize
 	}
@@ -128,10 +159,16 @@ func NewRunner(f *cnf.Formula, cfg Config) *Runner {
 	if cfg.SolverOptions.VarDecay == 0 {
 		cfg.SolverOptions = solver.DefaultOptions()
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = cluster.NewInproc(f, cfg.Workers, cfg.SolverOptions)
+	}
 	return &Runner{
-		formula: f,
-		cfg:     cfg,
-		confAct: make([]float64, f.NumVars+1),
+		formula:   f,
+		cfg:       cfg,
+		transport: transport,
+		cfgErr:    cfgErr,
+		confAct:   make([]float64, f.NumVars+1),
 	}
 }
 
@@ -140,6 +177,9 @@ func (r *Runner) Formula() *cnf.Formula { return r.formula }
 
 // Config returns the runner configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// Transport returns the transport the runner dispatches batches through.
+func (r *Runner) Transport() cluster.Transport { return r.transport }
 
 // Evaluations returns the number of predictive-function evaluations so far.
 func (r *Runner) Evaluations() int {
@@ -164,29 +204,6 @@ func (r *Runner) AggregateStats() solver.Stats {
 	return r.aggStats
 }
 
-// acquireSolver hands out a persistent solver for one worker goroutine,
-// creating it on first use.  Solvers live in a pool on the Runner so the
-// clause database survives across evaluations (the optimizer calls
-// EvaluatePoint thousands of times on the same formula).
-func (r *Runner) acquireSolver() *solver.Solver {
-	r.poolMu.Lock()
-	if n := len(r.pool); n > 0 {
-		s := r.pool[n-1]
-		r.pool = r.pool[:n-1]
-		r.poolMu.Unlock()
-		return s
-	}
-	r.poolMu.Unlock()
-	return solver.New(r.formula, r.cfg.SolverOptions)
-}
-
-// releaseSolver returns a worker's solver to the pool.
-func (r *Runner) releaseSolver(s *solver.Solver) {
-	r.poolMu.Lock()
-	r.pool = append(r.pool, s)
-	r.poolMu.Unlock()
-}
-
 // VarActivity returns the cumulative conflict activity of a variable over
 // all subproblems solved so far.  It implements the activity source used by
 // the tabu search's getNewCenter heuristic.
@@ -205,41 +222,39 @@ type PointEstimate struct {
 	Point decomp.Point
 	// Estimate is the Monte Carlo estimate (mean, F value, etc.).
 	Estimate montecarlo.Estimate
-	// Sample holds the raw observed costs.
+	// Sample holds the raw observed costs.  When Interrupted, it covers
+	// only the subproblems that were actually solved and may be smaller
+	// than the configured sample size.
 	Sample *montecarlo.Sample
 	// SatisfiableSamples counts how many sampled subproblems were SAT.
 	SatisfiableSamples int
 	// WallTime is the elapsed wall-clock time of the evaluation.
 	WallTime time.Duration
-}
-
-// task is one subproblem to solve.
-type task struct {
-	index       int
-	assumptions []cnf.Lit
-}
-
-// taskResult is the outcome of one subproblem solve.
-type taskResult struct {
-	index   int
-	cost    float64
-	status  solver.Status
-	model   cnf.Assignment
-	actVars []float64 // conflict activity contribution, indexed by cnf.Var
-	stats   solver.Stats
-	// started distinguishes real solves (even interrupted ones) from
-	// placeholders for tasks cancelled before a solver ever saw them.
-	started bool
+	// Interrupted reports whether the evaluation was cancelled before the
+	// full sample was processed.  The estimate is then partial: it uses
+	// only the subproblems that completed, which skews toward cheaper
+	// subproblems (the expensive ones are the likeliest to be in flight at
+	// the interrupt), so treat a partial F as a rough indication rather
+	// than an unbiased Monte Carlo estimate.
+	Interrupted bool
 }
 
 // EvaluatePoint computes the predictive function F at the decomposition set
-// given by the point, using the runner's sample size and worker pool.  The
-// evaluation is deterministic for a fixed configuration when the cost metric
-// is deterministic: the sample depends only on (Seed, evaluation counter),
-// and although each worker reuses one persistent solver, the solver is
-// restored to its pristine state before every subproblem, so every
-// subproblem is solved exactly as a fresh solver would solve it.
+// given by the point, using the runner's sample size and worker transport.
+// The evaluation is deterministic for a fixed configuration when the cost
+// metric is deterministic: the sample depends only on (Seed, evaluation
+// counter), and every subproblem is solved from a solver's pristine state,
+// so its observed cost does not depend on which worker — local goroutine or
+// remote machine — happened to process it.
+//
+// If the context is cancelled mid-evaluation, EvaluatePoint returns the
+// partial estimate computed from the subproblems that did complete (marked
+// Interrupted) together with the context's error, so an interrupted run can
+// still print a report; the result is nil only if no subproblem finished.
 func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstimate, error) {
+	if r.cfgErr != nil {
+		return nil, r.cfgErr
+	}
 	if p.Count() == 0 {
 		return nil, errors.New("pdsat: empty decomposition set")
 	}
@@ -256,30 +271,60 @@ func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstim
 	d := fam.Dimension()
 	n := r.cfg.SampleSize
 
-	tasks := make([]task, n)
+	tasks := make([]cluster.Task, n)
 	for i := 0; i < n; i++ {
 		alpha := fam.RandomAssignment(rng)
 		assumptions, err := fam.AssumptionsForBits(alpha)
 		if err != nil {
 			return nil, err
 		}
-		tasks[i] = task{index: i, assumptions: assumptions}
+		tasks[i] = cluster.Task{Index: i, Assumptions: assumptions}
 	}
 
-	results, err := r.runTasks(ctx, tasks, false, false)
-	if err != nil {
-		return nil, err
-	}
-
-	costs := make([]float64, n)
-	satCount := 0
-	for _, res := range results {
-		costs[res.index] = res.cost
-		if res.status == solver.Sat {
-			satCount++
-		}
+	results, runErr := r.runTasks(ctx, tasks, cluster.StopNone, false)
+	if runErr != nil && !cluster.IsInterruption(runErr) {
+		return nil, runErr
 	}
 	r.absorbActivities(results)
+
+	var costs []float64
+	satCount := 0
+	if runErr == nil {
+		costs = make([]float64, n)
+		for _, res := range results {
+			costs[res.Index] = res.Cost
+			if res.Status == solver.Sat {
+				satCount++
+			}
+		}
+	} else {
+		// Partial evaluation: only subproblems a solver ran to its normal
+		// conclusion (or per-task budget) are samples — a solve truncated
+		// by the cancellation itself undercounts its subproblem outright.
+		// Note the surviving subset is still completion-time censored (the
+		// subproblems in flight at the interrupt skew expensive), so a
+		// partial F remains an indication, not an unbiased estimate; see
+		// PointEstimate.Interrupted.  Keep enumeration order for
+		// determinism.
+		byIndex := make([]*cluster.TaskResult, n)
+		for i := range results {
+			if results[i].Started && !results[i].Cancelled && results[i].Index < n {
+				byIndex[results[i].Index] = &results[i]
+			}
+		}
+		for _, res := range byIndex {
+			if res == nil {
+				continue
+			}
+			costs = append(costs, res.Cost)
+			if res.Status == solver.Sat {
+				satCount++
+			}
+		}
+		if len(costs) == 0 {
+			return nil, runErr
+		}
+	}
 
 	sample := montecarlo.NewSample(costs)
 	est := montecarlo.NewEstimate(d, sample)
@@ -289,7 +334,8 @@ func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstim
 		Sample:             sample,
 		SatisfiableSamples: satCount,
 		WallTime:           time.Since(start),
-	}, nil
+		Interrupted:        runErr != nil,
+	}, runErr
 }
 
 // Evaluate implements the optimizer objective: it returns the predictive
@@ -306,200 +352,34 @@ func (r *Runner) Evaluate(ctx context.Context, p decomp.Point) (float64, error) 
 // the runner's cumulative tables.  Results arrive in completion order, which
 // is fine here: the absorbed quantities are integer-valued counters, so the
 // float sums are exact and order-insensitive.
-func (r *Runner) absorbActivities(results []taskResult) {
+func (r *Runner) absorbActivities(results []cluster.TaskResult) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, res := range results {
-		if !res.started {
+		if !res.Started {
 			// Cancelled before a solver saw it: nothing to absorb, and
 			// counting it would skew per-subproblem averages.
 			continue
 		}
-		for v := 1; v < len(res.actVars) && v < len(r.confAct); v++ {
-			r.confAct[v] += res.actVars[v]
+		for v := 1; v < len(res.ActVars) && v < len(r.confAct); v++ {
+			r.confAct[v] += res.ActVars[v]
 		}
-		r.aggStats = r.aggStats.Add(res.stats)
+		r.aggStats = r.aggStats.Add(res.Stats)
 		r.subproblemsSolved++
 	}
 }
 
-// searchAllowance is the search effort a budget leaves after charging the
-// construction baseline (0 if the baseline alone exhausts it, which makes
-// the budget trip immediately, exactly like a fresh solver).
-func searchAllowance(budget, base uint64) uint64 {
-	if budget <= base {
-		return 0
-	}
-	return budget - base
-}
-
-// runTasks distributes tasks over the worker pool and collects one result
-// per task (in completion order; callers needing enumeration order index by
-// taskResult.index).  Each worker goroutine owns one persistent solver for
-// the whole run; retain selects whether it keeps learned clauses across
-// tasks (solving mode with Config.RetainLearned) or is restored to its
-// pristine state before every task.  If stopOnSat is true the remaining work
-// is cancelled as soon as one subproblem is satisfiable.
-func (r *Runner) runTasks(ctx context.Context, tasks []task, stopOnSat, retain bool) ([]taskResult, error) {
-	workers := r.cfg.Workers
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	taskCh := make(chan task)
-	// Exactly one result is emitted per task — by the worker that received
-	// it, or by the producer for a task cancelled before it could be handed
-	// out — so a len(tasks) buffer keeps every send non-blocking.
-	resCh := make(chan taskResult, len(tasks))
-	innerCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			wk := &worker{runner: r, solver: r.acquireSolver(), retain: retain}
-			if retain {
-				// A pooled solver may carry conflict activity from a previous
-				// run that was already absorbed by the runner; without a Reset
-				// to zero it, the per-task diff must start from the current
-				// cumulative values.
-				wk.prevAct = wk.solver.ConflictActivities()
-			}
-			defer r.releaseSolver(wk.solver)
-			for t := range taskCh {
-				if innerCtx.Err() != nil {
-					resCh <- taskResult{index: t.index, status: solver.Unknown}
-					continue
-				}
-				resCh <- wk.solveTask(innerCtx, t)
-			}
-		}()
-	}
-
-	go func() {
-		defer close(taskCh)
-		for _, t := range tasks {
-			select {
-			case taskCh <- t:
-			case <-innerCtx.Done():
-				// Drain remaining tasks as cancelled results so indices stay
-				// complete.
-				resCh <- taskResult{index: t.index, status: solver.Unknown}
-			}
-		}
-	}()
-
-	results := make([]taskResult, 0, len(tasks))
-	for len(results) < len(tasks) {
-		res := <-resCh
-		results = append(results, res)
-		if stopOnSat && res.status == solver.Sat {
-			cancel()
-		}
-	}
-	wg.Wait()
-	close(resCh)
-	if err := ctx.Err(); err != nil {
-		return results, err
-	}
-	return results, nil
-}
-
-// worker is the per-goroutine solving state: one persistent solver plus the
-// scratch needed to attribute statistics and conflict activity to individual
-// tasks when the solver outlives them.
-type worker struct {
-	runner *Runner
-	solver *solver.Solver
-	retain bool
-	// prevAct is the solver's cumulative conflict activity after the
-	// previous task (retain mode only); the per-task contribution is the
-	// difference, since conflict activity grows monotonically.
-	prevAct []float64
-}
-
-// solveTask solves one subproblem on the worker's persistent solver.  The
-// reported cost is the equivalent of a fresh solver's lifetime effort —
-// construction-time (root-level) propagation plus the search under the
-// assumptions — because each member of a decomposition family is
-// conceptually solved from scratch, exactly as the paper's modified MiniSat
-// re-reads C[X̃/α] for every subproblem.  Counting only the post-assumption
-// search would report zero cost for subproblems already decided by root
-// propagation.
-//
-// In pristine mode solver.Reset makes the search (and therefore the cost)
-// bit-for-bit identical to a fresh solver's.  In retain mode the search
-// benefits from previously learned clauses; the cost is the construction
-// baseline plus this call's actual effort.
-func (w *worker) solveTask(ctx context.Context, t task) taskResult {
-	r, s := w.runner, w.solver
-	start := time.Now()
-	if w.retain {
-		s.ClearInterrupt()
-		// The solver's counters are cumulative across tasks, so a per-task
-		// effort budget must be rebased onto the current totals.  Like a
-		// fresh solver (whose lifetime counters include construction), the
-		// budget charges the construction baseline, so the per-task search
-		// allowance is budget minus baseline in both modes.
-		b := r.cfg.SubproblemBudget
-		base := s.BaseStats()
-		if b.MaxConflicts > 0 {
-			b.MaxConflicts = s.Stats().Conflicts + searchAllowance(b.MaxConflicts, base.Conflicts)
-		}
-		if b.MaxPropagations > 0 {
-			b.MaxPropagations = s.Stats().Propagations + searchAllowance(b.MaxPropagations, base.Propagations)
-		}
-		s.SetBudget(b)
-	} else {
-		s.Reset()
-		s.SetBudget(r.cfg.SubproblemBudget)
-	}
-	done := make(chan struct{})
-	var res solver.Result
-	go func() {
-		res = s.SolveWithAssumptions(t.assumptions)
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		s.Interrupt()
-		<-done
-	}
-	var taskStats solver.Stats
-	var actVars []float64
-	if w.retain {
-		taskStats = s.BaseStats().Add(res.Stats)
-		cur := s.ConflictActivities()
-		actVars = make([]float64, len(cur))
-		for v := range cur {
-			prev := 0.0
-			if v < len(w.prevAct) {
-				prev = w.prevAct[v]
-			}
-			actVars[v] = cur[v] - prev
-		}
-		w.prevAct = cur
-	} else {
-		// Reset rebased the stats to the construction baseline and zeroed
-		// the conflict activities, so the lifetime values are per-task.
-		taskStats = s.Stats()
-		actVars = s.ConflictActivities()
-	}
-	taskStats.SolveTime = time.Since(start)
-	return taskResult{
-		index:   t.index,
-		cost:    solver.EffortCost(taskStats, r.cfg.CostMetric),
-		status:  res.Status,
-		model:   res.Model,
-		actVars: actVars,
-		stats:   taskStats,
-		started: true,
-	}
+// runTasks dispatches one batch through the transport.  Each transport
+// worker owns one persistent solver; retain selects whether it keeps
+// learned clauses across tasks (solving mode with Config.RetainLearned) or
+// is restored to its pristine state before every task.
+func (r *Runner) runTasks(ctx context.Context, tasks []cluster.Task, stop cluster.StopMode, retain bool) ([]cluster.TaskResult, error) {
+	return r.transport.Run(ctx, tasks, cluster.BatchOptions{
+		Stop:       stop,
+		Retain:     retain,
+		Budget:     r.cfg.SubproblemBudget,
+		CostMetric: r.cfg.CostMetric,
+	})
 }
 
 // SolveReport is the outcome of processing a whole decomposition family
@@ -548,6 +428,9 @@ type SolveOptions struct {
 // learned clauses across subproblems, which usually lowers the total effort
 // at the price of scheduling-dependent per-subproblem costs.
 func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (*SolveReport, error) {
+	if r.cfgErr != nil {
+		return nil, r.cfgErr
+	}
 	if p.Count() == 0 {
 		return nil, errors.New("pdsat: empty decomposition set")
 	}
@@ -561,14 +444,18 @@ func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (
 		total = opts.MaxSubproblems
 	}
 
-	tasks := make([]task, total)
+	tasks := make([]cluster.Task, total)
 	for idx := uint64(0); idx < total; idx++ {
-		tasks[idx] = task{index: int(idx), assumptions: fam.AssumptionsFor(idx)}
+		tasks[idx] = cluster.Task{Index: int(idx), Assumptions: fam.AssumptionsFor(idx)}
 	}
-	results, err := r.runTasks(ctx, tasks, opts.StopOnSat, r.cfg.RetainLearned)
+	stop := cluster.StopNone
+	if opts.StopOnSat {
+		stop = cluster.StopOnSat
+	}
+	results, err := r.runTasks(ctx, tasks, stop, r.cfg.RetainLearned)
 	interrupted := false
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cluster.IsInterruption(err) {
 			interrupted = true
 		} else {
 			return nil, err
@@ -578,28 +465,28 @@ func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (
 
 	report := &SolveReport{Point: p, SatIndex: -1}
 	// Aggregate in enumeration order for deterministic cost-to-first-SAT.
-	byIndex := make([]taskResult, len(tasks))
+	byIndex := make([]cluster.TaskResult, len(tasks))
 	seen := make([]bool, len(tasks))
 	for _, res := range results {
-		byIndex[res.index] = res
-		seen[res.index] = true
+		byIndex[res.Index] = res
+		seen[res.Index] = true
 	}
 	for idx := range byIndex {
 		if !seen[idx] {
 			continue
 		}
 		res := byIndex[idx]
-		if !res.started {
+		if !res.Started {
 			// Cancelled before a solver saw it.
 			continue
 		}
 		report.Processed++
-		report.TotalCost += res.cost
+		report.TotalCost += res.Cost
 		if !report.FoundSat {
-			report.CostToFirstSat += res.cost
-			if res.status == solver.Sat {
+			report.CostToFirstSat += res.Cost
+			if res.Status == solver.Sat {
 				report.FoundSat = true
-				report.Model = res.model
+				report.Model = res.Model
 				report.SatIndex = int64(idx)
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cnf"
 	"repro/internal/solver"
 )
@@ -91,12 +92,21 @@ type Result struct {
 type Options struct {
 	// Members are the solver configurations to run; DefaultMembers() if nil.
 	Members []Member
-	// Workers bounds how many members run concurrently (0 = all).
+	// Workers bounds how many members run concurrently (0 = all).  Ignored
+	// when Transport is set (the transport decides the capacity).
 	Workers int
 	// CostMetric selects the effort unit for TotalCost.
 	CostMetric solver.CostMetric
 	// MemberBudget bounds each member's effort (0 fields = unlimited).
 	MemberBudget solver.Budget
+	// Transport optionally dispatches the members as cluster tasks — one
+	// task per member, each carrying its own solver configuration — e.g.
+	// through a cluster.Leader onto remote machines.  The transport must
+	// have been created for the same formula.  The batch stops as soon as
+	// one member is conclusive (SAT or UNSAT), like the local run.  Member
+	// solvers are then built per run on the serving worker instead of
+	// being kept across Solve calls.
+	Transport cluster.Transport
 }
 
 // Portfolio is a reusable portfolio session: the per-member solvers are
@@ -145,10 +155,13 @@ func Solve(ctx context.Context, f *cnf.Formula, opts Options) (*Result, error) {
 }
 
 // Solve runs the portfolio once, reusing the member solvers of previous
-// calls.
+// calls (or dispatching the members through Options.Transport when set).
 func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.opts.Transport != nil {
+		return p.solveOnTransport(ctx)
+	}
 	members := p.members
 	workers := p.opts.Workers
 	if workers <= 0 || workers > len(members) {
@@ -218,6 +231,48 @@ func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
 		result.TotalCost += solver.EffortCost(st, p.opts.CostMetric)
 	}
 	if err := ctx.Err(); err != nil && result.Winner == "" {
+		return result, err
+	}
+	return result, nil
+}
+
+// solveOnTransport runs the members as one cluster batch: each member is a
+// task carrying its own solver configuration, the batch is cancelled as
+// soon as one member reports SAT or UNSAT, and the first conclusive result
+// in completion order wins — the distributed counterpart of the local
+// goroutine race.
+func (p *Portfolio) solveOnTransport(ctx context.Context) (*Result, error) {
+	members := p.members
+	start := time.Now()
+	tasks := make([]cluster.Task, len(members))
+	for i, m := range members {
+		o := m.Options
+		tasks[i] = cluster.Task{Index: i, Assumptions: m.Assumptions, Options: &o}
+	}
+	results, err := p.opts.Transport.Run(ctx, tasks, cluster.BatchOptions{
+		Stop:       cluster.StopOnDecided,
+		Budget:     p.opts.MemberBudget,
+		CostMetric: p.opts.CostMetric,
+	})
+	if err != nil && !cluster.IsInterruption(err) {
+		return nil, err
+	}
+	result := &Result{Status: solver.Unknown, MemberStats: make(map[string]solver.Stats, len(members))}
+	for _, res := range results {
+		if res.Index < 0 || res.Index >= len(members) {
+			continue
+		}
+		name := members[res.Index].Name
+		result.MemberStats[name] = res.Stats
+		result.TotalCost += res.Cost
+		if result.Winner == "" && (res.Status == solver.Sat || res.Status == solver.Unsat) {
+			result.Status = res.Status
+			result.Winner = name
+			result.Model = res.Model
+		}
+	}
+	result.WallTime = time.Since(start)
+	if err != nil && result.Winner == "" {
 		return result, err
 	}
 	return result, nil
