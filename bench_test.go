@@ -11,20 +11,20 @@
 // deterministic solver effort (propagations) on weakened instances; see
 // README.md and PAPER.md for the mapping to the paper's cluster-scale
 // numbers.
-package repro_test
+package pdsatgo_test
 
 import (
 	"context"
 	"math/rand"
 	"testing"
 
-	"repro/internal/cnf"
-	"repro/internal/cnfgen"
-	"repro/internal/decomp"
-	"repro/internal/encoder"
-	"repro/internal/expts"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnfgen"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/expts"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // benchScale returns the experiment scale used by the benchmark harness.

@@ -18,8 +18,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/expts"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/expts"
 )
 
 func main() {

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/crypto"
-	"repro/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
 )
 
 func main() {

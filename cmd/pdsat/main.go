@@ -26,20 +26,20 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/encoder"
-	"repro/internal/optimize"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	"github.com/paper-repro/pdsat-go/pdsat"
 )
 
 func main() {
@@ -71,6 +71,7 @@ func run() error {
 		listen     = flag.String("listen", "", "act as cluster leader: listen for remote workers on this address and dispatch all subproblems to them")
 		join       = flag.String("join", "", "act as remote cluster worker: connect to a leader at this address and serve subproblems (-workers slots)")
 		minWorkers = flag.Int("min-workers", 1, "with -listen, wait for this many remote workers before starting")
+		serve      = flag.String("serve", "", "serve the job API over HTTP on this address (e.g. :8080) instead of running one -mode; combines with -listen")
 	)
 	flag.Parse()
 
@@ -94,8 +95,8 @@ func run() error {
 		return err
 	}
 
-	cfg := core.Config{
-		Runner: pdsat.Config{
+	cfg := pdsat.Config{
+		Runner: pdsat.RunnerConfig{
 			SampleSize:       *samples,
 			Workers:          *workers,
 			Seed:             *seed,
@@ -103,14 +104,27 @@ func run() error {
 			SolverOptions:    solver.DefaultOptions(),
 			SubproblemBudget: solver.Budget{MaxConflicts: *budget},
 		},
-		Search: optimize.Options{Seed: *seed, MaxEvaluations: *evals},
+		Search: pdsat.SearchOptions{Seed: *seed, MaxEvaluations: *evals},
 		Cores:  *cores,
 	}
 
+	// With -listen, cluster worker churn is forwarded into the event
+	// streams of whatever jobs are running once the session exists.
+	var sessionRef atomic.Pointer[pdsat.Session]
 	if *listen != "" {
 		leader, err := cluster.Listen(*listen, problem.Formula, cluster.LeaderOptions{
 			SolverOptions: cfg.Runner.SolverOptions,
 			Logf:          logToStderr,
+			OnWorkerJoined: func(name string, slots int) {
+				if s := sessionRef.Load(); s != nil {
+					s.PublishWorkerJoined(name, slots)
+				}
+			},
+			OnWorkerLost: func(name string, requeued int) {
+				if s := sessionRef.Load(); s != nil {
+					s.PublishWorkerLost(name, requeued)
+				}
+			},
 		})
 		if err != nil {
 			return err
@@ -126,10 +140,11 @@ func run() error {
 		cfg.Runner.Transport = leader
 	}
 
-	engine, err := core.NewEngine(problem, cfg)
+	session, err := pdsat.NewSession(problem, cfg)
 	if err != nil {
 		return err
 	}
+	sessionRef.Store(session)
 
 	vars := problem.StartSet
 	if *setList != "" {
@@ -142,16 +157,44 @@ func run() error {
 	fmt.Printf("instance %s: %d variables, %d clauses, start set of %d variables\n",
 		problem.Name, problem.Formula.NumVars, problem.Formula.NumClauses(), len(problem.StartSet))
 
+	if *serve != "" {
+		return runServe(ctx, session, *serve)
+	}
+
 	switch *mode {
 	case "estimate":
-		return runEstimate(ctx, engine, vars, costMetric)
+		return runEstimate(ctx, session, vars, costMetric)
 	case "search":
-		return runSearch(ctx, engine, *method, costMetric)
+		return runSearch(ctx, session, *method, costMetric)
 	case "solve":
-		return runSolve(ctx, engine, vars, *stopOnSat, costMetric)
+		return runSolve(ctx, session, vars, *stopOnSat, costMetric)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runServe exposes the session's job API over HTTP until the context is
+// cancelled (SIGINT/SIGTERM or -timeout): submit jobs, stream their typed
+// progress events (NDJSON or SSE), fetch results, cancel.  See the pdsat
+// package's Server documentation and README.md for the endpoints and a
+// curl quickstart.
+func runServe(ctx context.Context, session *pdsat.Session, addr string) error {
+	httpServer := &http.Server{Addr: addr, Handler: pdsat.NewServer(session)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	fmt.Printf("serving job API on http://%s (POST /v1/jobs, GET /v1/jobs/{id}/events, ...)\n", addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: cancelling jobs, draining connections")
+	// Cancel the jobs first: open event-stream responses end at their Done
+	// event, so Shutdown can actually drain them within its deadline.
+	session.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpServer.Shutdown(shutCtx)
 }
 
 // runWorker serves subproblems to a remote leader until the context is
@@ -176,7 +219,7 @@ func logToStderr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
-func buildProblem(cnfPath, startList, generator string, keystream, known int, seed int64) (*core.Problem, error) {
+func buildProblem(cnfPath, startList, generator string, keystream, known int, seed int64) (*pdsat.Problem, error) {
 	if cnfPath != "" {
 		f, err := cnf.ParseDIMACSFile(cnfPath)
 		if err != nil {
@@ -189,7 +232,7 @@ func buildProblem(cnfPath, startList, generator string, keystream, known int, se
 		if err != nil {
 			return nil, err
 		}
-		return core.FromFormula(cnfPath, f, start), nil
+		return pdsat.FromFormula(cnfPath, f, start), nil
 	}
 	gen, err := encoder.ByName(generator)
 	if err != nil {
@@ -203,11 +246,11 @@ func buildProblem(cnfPath, startList, generator string, keystream, known int, se
 	if err != nil {
 		return nil, err
 	}
-	return core.FromInstance(inst), nil
+	return pdsat.FromInstance(inst), nil
 }
 
-func runEstimate(ctx context.Context, engine *core.Engine, vars []cnf.Var, metric solver.CostMetric) error {
-	est, err := engine.EstimateSet(ctx, vars)
+func runEstimate(ctx context.Context, session *pdsat.Session, vars []cnf.Var, metric solver.CostMetric) error {
+	est, err := session.EstimateSet(ctx, vars)
 	if est == nil {
 		return err
 	}
@@ -220,13 +263,13 @@ func runEstimate(ctx context.Context, engine *core.Engine, vars []cnf.Var, metri
 	return nil
 }
 
-func runSearch(ctx context.Context, engine *core.Engine, method string, metric solver.CostMetric) error {
+func runSearch(ctx context.Context, session *pdsat.Session, method string, metric solver.CostMetric) error {
 	start := time.Now()
-	outcome, err := engine.SearchFrom(ctx, method, engine.Space().FullPoint())
+	outcome, err := session.SearchFrom(ctx, method, session.Space().FullPoint())
 	if err != nil {
 		return err
 	}
-	if outcome.Result.Stop == optimize.StopContext {
+	if outcome.Result.Stop == pdsat.StopContext {
 		fmt.Println("interrupted — partial search report:")
 	}
 	fmt.Printf("search method       %s\n", outcome.Method)
@@ -245,8 +288,8 @@ func runSearch(ctx context.Context, engine *core.Engine, method string, metric s
 	return nil
 }
 
-func runSolve(ctx context.Context, engine *core.Engine, vars []cnf.Var, stopOnSat bool, metric solver.CostMetric) error {
-	report, err := engine.SolveWithSet(ctx, vars, pdsat.SolveOptions{StopOnSat: stopOnSat})
+func runSolve(ctx context.Context, session *pdsat.Session, vars []cnf.Var, stopOnSat bool, metric solver.CostMetric) error {
+	report, err := session.SolveWithSet(ctx, vars, pdsat.SolveOptions{StopOnSat: stopOnSat})
 	if err != nil {
 		return err
 	}
@@ -259,7 +302,7 @@ func runSolve(ctx context.Context, engine *core.Engine, vars []cnf.Var, stopOnSa
 	fmt.Printf("wall time           %v\n", report.WallTime.Round(time.Millisecond))
 	if report.FoundSat {
 		fmt.Printf("satisfiable subproblem found at index %d\n", report.SatIndex)
-		if inst := engine.Problem().Instance; inst != nil {
+		if inst := session.Problem().Instance; inst != nil {
 			gen, err := encoder.ByName(inst.Generator)
 			if err == nil {
 				ok, err := inst.CheckRecoveredState(gen, report.Model)
@@ -272,7 +315,7 @@ func runSolve(ctx context.Context, engine *core.Engine, vars []cnf.Var, stopOnSa
 	return nil
 }
 
-func printEstimate(label string, est *core.SetEstimate, metric solver.CostMetric) {
+func printEstimate(label string, est *pdsat.SetEstimate, metric solver.CostMetric) {
 	fmt.Printf("%s:\n", label)
 	fmt.Printf("  |set|              %d\n", len(est.Vars))
 	fmt.Printf("  sample size N      %d\n", est.Estimate.SampleSize)

@@ -1,4 +1,4 @@
-// Package repro is a from-scratch Go reproduction of
+// Package pdsatgo is a from-scratch Go reproduction of
 //
 //	A. Semenov, O. Zaikin — "Using Monte Carlo Method for Searching
 //	Partitionings of Hard Variants of Boolean Satisfiability Problem"
@@ -12,7 +12,13 @@
 // candidate decomposition sets.  See PAPER.md for a complete summary and
 // README.md for the architecture and a quickstart.
 //
-// The library lives in internal/ packages, layered bottom-up:
+// The public, importable surface is the top-level pdsat package
+// (github.com/paper-repro/pdsat-go/pdsat): Problems, Sessions and
+// asynchronous jobs (EstimateJob, SearchJob, SolveJob) with typed
+// progress-event streams, plus an HTTP/JSON job server (cmd/pdsat -serve).
+// See that package's documentation for the job/event model.
+//
+// The substrate lives in internal/ packages, layered bottom-up:
 //
 //   - cnf, cnfgen: propositional substrate and benchmark formulas
 //   - circuit, crypto, encoder: A5/1, Bivium and Grain keystream
@@ -29,8 +35,7 @@
 //   - pdsat: the paper's MPI leader/worker program PDSAT on top of a
 //     cluster transport (estimation and solving modes); cmd/pdsat
 //     -listen/-join deploys it across machines
-//   - portfolio, core, expts: the portfolio baseline, the public facade and
-//     the experiment harness
+//   - portfolio, expts: the portfolio baseline and the experiment harness
 //
 // The command-line tools live in cmd/ (pdsat, keygen, dimacs, experiments)
 // and runnable walkthroughs in examples/.
@@ -39,4 +44,4 @@
 // paper's evaluation section at a laptop-friendly scale:
 //
 //	go test -bench=. -benchmem
-package repro
+package pdsatgo

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/expts"
+	"github.com/paper-repro/pdsat-go/internal/expts"
 )
 
 func main() {

@@ -18,11 +18,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/encoder"
-	"repro/internal/montecarlo"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	"github.com/paper-repro/pdsat-go/pdsat"
 )
 
 func main() {
@@ -47,8 +46,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		engine, err := core.NewEngine(core.FromInstance(inst), core.Config{
-			Runner: pdsat.Config{SampleSize: 300, Seed: 11, CostMetric: solver.CostPropagations},
+		engine, err := pdsat.NewSession(pdsat.FromInstance(inst), pdsat.Config{
+			Runner: pdsat.RunnerConfig{SampleSize: 300, Seed: 11, CostMetric: solver.CostPropagations},
 			Cores:  480,
 		})
 		if err != nil {

@@ -22,13 +22,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/encoder"
-	"repro/internal/montecarlo"
-	"repro/internal/optimize"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	"github.com/paper-repro/pdsat-go/pdsat"
 )
 
 func main() {
@@ -46,8 +45,8 @@ func main() {
 	}
 	fmt.Printf("search instance %s: %d unknown state bits\n", searchInst.Name, len(searchInst.UnknownStartVars()))
 
-	searchEngine, err := core.NewEngine(core.FromInstance(searchInst), core.Config{
-		Runner: pdsat.Config{SampleSize: 15, Seed: 5, CostMetric: solver.CostPropagations},
+	searchEngine, err := pdsat.NewSession(pdsat.FromInstance(searchInst), pdsat.Config{
+		Runner: pdsat.RunnerConfig{SampleSize: 15, Seed: 5, CostMetric: solver.CostPropagations},
 		Search: optimize.Options{Seed: 5, MaxEvaluations: 70},
 		Cores:  480,
 	})
@@ -88,8 +87,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	solveEngine, err := core.NewEngine(core.FromInstance(solveInst), core.Config{
-		Runner: pdsat.Config{SampleSize: 300, Seed: 5, CostMetric: solver.CostPropagations},
+	solveEngine, err := pdsat.NewSession(pdsat.FromInstance(solveInst), pdsat.Config{
+		Runner: pdsat.RunnerConfig{SampleSize: 300, Seed: 5, CostMetric: solver.CostPropagations},
 		Cores:  480,
 	})
 	if err != nil {

@@ -22,12 +22,11 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/encoder"
-	"repro/internal/optimize"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	"github.com/paper-repro/pdsat-go/pdsat"
 )
 
 func main() {
@@ -48,8 +47,8 @@ func main() {
 	fmt.Printf("keystream: %s\n", crypto.BitsToString(inst.Keystream))
 	fmt.Printf("unknown state bits: %d\n\n", len(inst.UnknownStartVars()))
 
-	engine, err := core.NewEngine(core.FromInstance(inst), core.Config{
-		Runner: pdsat.Config{
+	engine, err := pdsat.NewSession(pdsat.FromInstance(inst), pdsat.Config{
+		Runner: pdsat.RunnerConfig{
 			SampleSize: 200,
 			Seed:       7,
 			CostMetric: solver.CostPropagations,

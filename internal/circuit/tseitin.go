@@ -3,7 +3,7 @@ package circuit
 import (
 	"fmt"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // Encoding is the result of the Tseitin transformation of a circuit.

@@ -32,8 +32,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // Task is one subproblem: solve the transport's formula under the given
@@ -137,6 +137,20 @@ type Transport interface {
 	// in-process transport is a no-op; closing a network leader
 	// disconnects its workers.
 	Close() error
+}
+
+// ObservedTransport is implemented by transports that can report batch
+// progress while a Run call is still in flight.  observe is called once per
+// TaskResult, in the same completion order in which the result will appear
+// in Run's return value, from a single goroutine; it must not block for
+// long, since it runs on the batch's collection path.  Both built-in
+// backends (Inproc and Leader) implement it; callers fall back to plain Run
+// when a transport does not.
+type ObservedTransport interface {
+	Transport
+	// RunObserved behaves exactly like Run but additionally streams every
+	// collected TaskResult to observe as it arrives.
+	RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error)
 }
 
 // checkBatch validates the index contract shared by every backend.

@@ -5,13 +5,13 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/cnf"
-	"repro/internal/decomp"
-	"repro/internal/encoder"
-	"repro/internal/pdsat"
-	"repro/internal/portfolio"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/portfolio"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // testInstance builds the small weakened A5/1 instance used across the

@@ -6,8 +6,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // Inproc is the in-process Transport: tasks run on goroutines in the
@@ -97,6 +97,13 @@ func (t *Inproc) PooledSolvers() []*solver.Solver {
 // Run distributes the tasks over the worker goroutines and collects one
 // result per task, in completion order.
 func (t *Inproc) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]TaskResult, error) {
+	return t.RunObserved(ctx, tasks, opts, nil)
+}
+
+// RunObserved implements ObservedTransport: observe (when non-nil) receives
+// every result from the collection loop the moment it is gathered, in the
+// same order as the returned slice.
+func (t *Inproc) RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error) {
 	if err := checkBatch(tasks); err != nil {
 		return nil, err
 	}
@@ -149,6 +156,9 @@ func (t *Inproc) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]Ta
 	for len(results) < len(tasks) {
 		res := <-resCh
 		results = append(results, res)
+		if observe != nil {
+			observe(res)
+		}
 		if stopTriggered(opts.Stop, res.Status) {
 			cancel()
 		}

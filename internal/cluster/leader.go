@@ -7,8 +7,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // ErrClosed is returned by Leader methods after Close.
@@ -26,6 +26,15 @@ type LeaderOptions struct {
 	// Logf, when non-nil, receives human-readable cluster events (worker
 	// joins, losses, requeues).
 	Logf func(format string, args ...any)
+	// OnWorkerJoined, when non-nil, is called after a worker completes its
+	// registration handshake, with the worker's self-reported name and slot
+	// count.  It runs on the connection's goroutine and must not block.
+	OnWorkerJoined func(name string, slots int)
+	// OnWorkerLost, when non-nil, is called when a registered worker is
+	// dropped (connection error, missed heartbeats or leader shutdown),
+	// with the number of in-flight tasks that were requeued onto the
+	// remaining workers.  It must not block.
+	OnWorkerLost func(name string, requeued int)
 }
 
 // Leader is the network Transport: it accepts worker registrations on a TCP
@@ -236,6 +245,9 @@ func (l *Leader) handleConn(conn net.Conn) {
 	}
 	l.mu.Unlock()
 	l.logf("cluster: worker %q joined from %s with %d slot(s)", rw.name, conn.RemoteAddr(), rw.capacity)
+	if l.opts.OnWorkerJoined != nil {
+		l.opts.OnWorkerJoined(rw.name, rw.capacity)
+	}
 
 	go l.ping(rw)
 
@@ -306,6 +318,9 @@ func (l *Leader) dropWorker(rw *remoteWorker, cause error) {
 		l.logf("cluster: worker %q lost (%v); requeued %d task(s)", rw.name, cause, requeued)
 	} else {
 		l.logf("cluster: worker %q disconnected (%v)", rw.name, cause)
+	}
+	if l.opts.OnWorkerLost != nil {
+		l.opts.OnWorkerLost(rw.name, requeued)
 	}
 }
 
@@ -435,6 +450,13 @@ func (l *Leader) assign(b *netBatch) {
 // and collects one result per task.  If no worker is registered, Run waits
 // for one to join (bound the wait with the context or WaitForWorkers).
 func (l *Leader) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]TaskResult, error) {
+	return l.RunObserved(ctx, tasks, opts, nil)
+}
+
+// RunObserved implements ObservedTransport: observe (when non-nil) receives
+// every collected result from the batch loop's goroutine as workers deliver
+// them, in the same order as the returned slice.
+func (l *Leader) RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error) {
 	if err := checkBatch(tasks); err != nil {
 		return nil, err
 	}
@@ -475,6 +497,9 @@ func (l *Leader) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]Ta
 	// nudges b.wake directly.
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	// reported tracks how much of b.results has been streamed to observe;
+	// the batch loop is the only reporter, so the order matches the slice.
+	reported := 0
 	ctxDone := ctx.Done()
 	for {
 		l.assign(b)
@@ -482,11 +507,21 @@ func (l *Leader) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]Ta
 		done := b.remaining == 0
 		closed := l.closed
 		l.mu.Unlock()
+		l.reportNew(b, &reported, observe)
 		if done {
 			break
 		}
 		if closed {
-			return l.snapshotResults(b), ErrClosed
+			// Stream anything delivered between reportNew and this
+			// snapshot, keeping the one-observe-call-per-result contract
+			// on the abnormal exit too.
+			results := l.snapshotResults(b)
+			if observe != nil {
+				for _, res := range results[reported:] {
+					observe(res)
+				}
+			}
+			return results, ErrClosed
 		}
 		select {
 		case <-b.wake:
@@ -522,4 +557,20 @@ func (l *Leader) snapshotResults(b *netBatch) []TaskResult {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]TaskResult(nil), b.results...)
+}
+
+// reportNew streams the not-yet-reported tail of the batch results to
+// observe.  Only the batch loop calls it, so *reported needs no lock; the
+// results are copied under the lock and observed outside it.
+func (l *Leader) reportNew(b *netBatch, reported *int, observe func(TaskResult)) {
+	if observe == nil {
+		return
+	}
+	l.mu.Lock()
+	fresh := append([]TaskResult(nil), b.results[*reported:]...)
+	l.mu.Unlock()
+	*reported += len(fresh)
+	for _, res := range fresh {
+		observe(res)
+	}
 }

@@ -7,8 +7,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // protocolVersion guards against mixing incompatible leader and worker

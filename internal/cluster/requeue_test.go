@@ -6,8 +6,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // requeueFormula builds a small formula with enough search effort per

@@ -10,7 +10,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // ErrRejected marks a leader's explicit registration refusal (protocol

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // RandomKSAT returns a uniformly random k-SAT formula with the given number

@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"github.com/paper-repro/pdsat-go/internal/circuit"
 )
 
 // A51 models the GSM A5/1 keystream generator: three LFSRs of lengths 19, 22

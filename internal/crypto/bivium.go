@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"github.com/paper-repro/pdsat-go/internal/circuit"
 )
 
 // Bivium models the Bivium-B keystream generator (De Cannière's reduced

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"github.com/paper-repro/pdsat-go/internal/circuit"
 )
 
 // Grain models the Grain v1 keystream generator: an 80-bit NFSR and an

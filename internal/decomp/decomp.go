@@ -20,7 +20,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // Space is the ordered universe of candidate variables over which

@@ -6,8 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 func space(n int) *Space {

@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/circuit"
-	"repro/internal/cnf"
-	"repro/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/circuit"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
 )
 
 // Instance is a cryptanalysis SAT instance.

@@ -3,8 +3,8 @@ package encoder
 import (
 	"testing"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 func TestKnownPrefixWeakening(t *testing.T) {

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	api "github.com/paper-repro/pdsat-go/pdsat"
 )
 
 // A51Result bundles the outcomes of the A5/1 experiments (Table 1 and
@@ -109,7 +109,7 @@ func RunA51(ctx context.Context, scale Scale) (*A51Result, error) {
 	res := &A51Result{Scale: scale, Instance: inst}
 
 	// Estimation engine with the larger sample.
-	estEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	estEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.EstimateSamples),
 		Search: scale.searchOptions(),
 		Cores:  scale.Cores,
@@ -126,7 +126,7 @@ func RunA51(ctx context.Context, scale Scale) (*A51Result, error) {
 
 	// Search engine with the smaller per-point sample (the search visits
 	// many points).
-	searchEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	searchEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.SearchSamples),
 		Search: scale.searchOptions(),
 		Cores:  scale.Cores,

@@ -6,10 +6,10 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	api "github.com/paper-repro/pdsat-go/pdsat"
 )
 
 // BiviumResult bundles the Bivium experiments: the three time estimations of
@@ -82,7 +82,7 @@ func EibachBiviumSet(inst *encoder.Instance, size int) []cnf.Var {
 // runner.  It stands in for the CryptoMiniSat-internal variable choices of
 // [18,19]: variables the solver fights over the most.
 func ActivityGuidedSet(ctx context.Context, scale Scale, inst *encoder.Instance, size int) ([]cnf.Var, error) {
-	eng, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	eng, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.SearchSamples),
 		Search: scale.searchOptions(),
 		Cores:  scale.Cores,
@@ -131,7 +131,7 @@ func RunBivium(ctx context.Context, scale Scale) (*BiviumResult, error) {
 
 	// Row 1: Eibach-style fixed strategy, small sample.
 	fixedVars := EibachBiviumSet(inst, setSize)
-	fixedEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	fixedEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(res.FixedSamples),
 		Cores:  scale.Cores,
 	})
@@ -149,7 +149,7 @@ func RunBivium(ctx context.Context, scale Scale) (*BiviumResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	actEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	actEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(res.ActivitySamples),
 		Cores:  scale.Cores,
 	})
@@ -163,7 +163,7 @@ func RunBivium(ctx context.Context, scale Scale) (*BiviumResult, error) {
 	res.ActivityGuided = SetReport{Name: "Solver-activity set (as in [18,19])", Vars: actEst.Vars, Power: len(actEst.Vars), F: actEst.Estimate.Value}
 
 	// Row 3: PDSAT-style tabu search from the start set, large sample.
-	searchEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	searchEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.SearchSamples),
 		Search: scale.searchOptions(),
 		Cores:  scale.Cores,
@@ -176,7 +176,7 @@ func RunBivium(ctx context.Context, scale Scale) (*BiviumResult, error) {
 		return nil, err
 	}
 	res.TabuEvaluations = tabu.Result.Evaluations
-	finalEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	finalEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(res.SearchedSamples),
 		Cores:  scale.Cores,
 	})

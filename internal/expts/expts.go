@@ -18,9 +18,9 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/optimize"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // Scale collects the knobs that adapt the paper's experiments to the

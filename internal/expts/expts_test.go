@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
 )
 
 func TestScales(t *testing.T) {

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/crypto"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	api "github.com/paper-repro/pdsat-go/pdsat"
 )
 
 // GrainResult bundles the Grain experiment of Figure 4: the decomposition
@@ -47,7 +47,7 @@ func RunGrain(ctx context.Context, scale Scale) (*GrainResult, error) {
 	}
 	res := &GrainResult{Scale: scale, Instance: inst}
 
-	searchEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	searchEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.SearchSamples),
 		Search: scale.searchOptions(),
 		Cores:  scale.Cores,
@@ -67,7 +67,7 @@ func RunGrain(ctx context.Context, scale Scale) (*GrainResult, error) {
 	}
 	res.TabuEvaluations = tabu.Result.Evaluations
 
-	estEngine, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	estEngine, err := api.NewSession(api.FromInstance(inst), api.Config{
 		Runner: scale.runnerConfig(scale.EstimateSamples),
 		Cores:  scale.Cores,
 	})

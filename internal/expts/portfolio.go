@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/decomp"
-	"repro/internal/encoder"
-	"repro/internal/pdsat"
-	"repro/internal/portfolio"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/portfolio"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // PortfolioVsPartitioningResult compares the two parallel-SAT approaches the

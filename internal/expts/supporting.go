@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/decomp"
-	"repro/internal/montecarlo"
-	"repro/internal/optimize"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	api "github.com/paper-repro/pdsat-go/pdsat"
 )
 
 // ConvergencePoint is one sample-size step of the Monte Carlo convergence
@@ -133,8 +133,8 @@ func RunSAvsTabu(ctx context.Context, scale Scale) (*SAvsTabuResult, error) {
 	}
 	res := &SAvsTabuResult{Scale: scale, Budget: scale.SearchEvaluations}
 
-	run := func(method string) (*core.SearchOutcome, error) {
-		eng, err := core.NewEngine(core.FromInstance(inst), core.Config{
+	run := func(method string) (*api.SearchOutcome, error) {
+		eng, err := api.NewSession(api.FromInstance(inst), api.Config{
 			Runner: scale.runnerConfig(scale.SearchSamples),
 			Search: scale.searchOptions(),
 			Cores:  scale.Cores,

@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/encoder"
-	"repro/internal/montecarlo"
-	"repro/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	api "github.com/paper-repro/pdsat-go/pdsat"
 )
 
 // WeakenedProblem identifies one weakened cryptanalysis problem of Table 3
@@ -137,7 +137,7 @@ func runWeakenedProblem(ctx context.Context, scale Scale, prob WeakenedProblem) 
 		if err != nil {
 			return nil, err
 		}
-		eng, err := core.NewEngine(core.FromInstance(inst), core.Config{
+		eng, err := api.NewSession(api.FromInstance(inst), api.Config{
 			Runner: scale.runnerConfig(scale.Table3Samples),
 			Search: scale.searchOptions(),
 			Cores:  scale.Cores,

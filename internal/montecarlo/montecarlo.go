@@ -103,16 +103,16 @@ func (s *Sample) Min() float64 {
 // decomposition set.
 type Estimate struct {
 	// Dimension is d = |X̃|.
-	Dimension int
+	Dimension int `json:"dimension"`
 	// SampleSize is N, the number of random subproblems solved.
-	SampleSize int
+	SampleSize int `json:"sample_size"`
 	// Mean is the sample mean of the observed costs (an estimate of E[ξ]).
-	Mean float64
+	Mean float64 `json:"mean"`
 	// StdDev is the sample standard deviation of the observed costs.
-	StdDev float64
+	StdDev float64 `json:"stddev"`
 	// Value is the predictive function F = 2^d · Mean, in the same cost
 	// units as the observations (seconds in the paper).
-	Value float64
+	Value float64 `json:"value"`
 }
 
 // NewEstimate computes the predictive function value from a sample.

@@ -164,6 +164,18 @@ func TestExtrapolateCores(t *testing.T) {
 	if ExtrapolateCores(1000, 480) != 1000.0/480 {
 		t.Fatal("480-core extrapolation")
 	}
+	// Nonsensical core counts are treated as "no parallelism", never as a
+	// sign flip or a division by a negative count.
+	if ExtrapolateCores(1000, -4) != 1000 {
+		t.Fatal("negative core counts must behave like 1 core")
+	}
+	// A zero estimate (e.g. a degenerate cost metric) stays zero for every
+	// core count instead of producing NaN or negative zero surprises.
+	for _, cores := range []int{-1, 0, 1, 480} {
+		if got := ExtrapolateCores(0, cores); got != 0 {
+			t.Fatalf("ExtrapolateCores(0, %d) = %v, want 0", cores, got)
+		}
+	}
 }
 
 func TestRelativeDeviation(t *testing.T) {

@@ -21,8 +21,8 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
 )
 
 // Objective computes the predictive function value at a point of the search
@@ -73,6 +73,48 @@ type Options struct {
 	// MinTemperature is T_inf; the annealing stops when the temperature
 	// drops below it.
 	MinTemperature float64
+
+	// Observer, when non-nil, is called for every recorded Visit as the
+	// search makes it, from the search's goroutine, in trace order.  It
+	// must not block for long and must not call back into the search.
+	// Observation never changes the search itself: the visits are the
+	// same ones that end up in Result.Trace.
+	Observer func(Visit)
+}
+
+// Validate reports whether the options are usable.  Zero values are fine —
+// they select the DefaultOptions value or mean "unlimited" — but negative
+// budgets, a radius below 1 (when set), or a cooling factor outside (0,1)
+// are configuration mistakes and are rejected with a clear error rather
+// than silently coerced.  Both search entry points validate eagerly.
+func (o Options) Validate() error {
+	if o.Radius < 0 {
+		return fmt.Errorf("optimize: negative neighbourhood radius %d (use 0 for the default of %d)",
+			o.Radius, DefaultOptions().Radius)
+	}
+	if o.MaxRadius < 0 {
+		return fmt.Errorf("optimize: negative maximum radius %d", o.MaxRadius)
+	}
+	if o.MaxRadius > 0 && o.Radius > 0 && o.MaxRadius < o.Radius {
+		return fmt.Errorf("optimize: maximum radius %d below radius %d", o.MaxRadius, o.Radius)
+	}
+	if o.MaxEvaluations < 0 {
+		return fmt.Errorf("optimize: negative evaluation budget %d (use 0 for unlimited)", o.MaxEvaluations)
+	}
+	if o.MaxTime < 0 {
+		return fmt.Errorf("optimize: negative time budget %v (use 0 for unlimited)", o.MaxTime)
+	}
+	if o.InitialTemperature < 0 {
+		return fmt.Errorf("optimize: negative initial temperature %v", o.InitialTemperature)
+	}
+	if o.MinTemperature < 0 {
+		return fmt.Errorf("optimize: negative minimum temperature %v", o.MinTemperature)
+	}
+	if o.CoolingFactor < 0 || o.CoolingFactor >= 1 {
+		return fmt.Errorf("optimize: cooling factor %v outside (0,1) (use 0 for the default of %v)",
+			o.CoolingFactor, DefaultOptions().CoolingFactor)
+	}
+	return nil
 }
 
 // DefaultOptions returns the options used when fields are left zero.
@@ -230,13 +272,17 @@ func (s *search) checkBudgets(ctx context.Context) error {
 }
 
 func (s *search) record(p decomp.Point, value float64, accepted, improved bool) {
-	s.trace = append(s.trace, Visit{
+	v := Visit{
 		Index:    len(s.trace),
 		Point:    p,
 		Value:    value,
 		Accepted: accepted,
 		Improved: improved,
-	})
+	}
+	s.trace = append(s.trace, v)
+	if s.opts.Observer != nil {
+		s.opts.Observer(v)
+	}
 }
 
 func (s *search) result(best decomp.Point, bestValue float64) *Result {
@@ -274,6 +320,9 @@ func (s *search) pickUnchecked(candidates []decomp.Point, checked map[string]boo
 // accepted centre; we additionally remember the global minimum, which is
 // what a user of the partitioning actually wants).
 func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	s := newSearch(obj, opts)
 
@@ -386,6 +435,9 @@ func allChecked(points []decomp.Point, checked map[string]bool) bool {
 // its decomposition set (falling back to the best F value when the
 // objective provides no activity information).
 func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	s := newSearch(obj, opts)
 

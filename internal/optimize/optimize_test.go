@@ -8,8 +8,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
 )
 
 // makeSpace builds a search space over n variables 1..n.

@@ -5,8 +5,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/cnf"
-	"repro/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
 )
 
 // TestConfigValidateRejectsNegatives checks the validation satellite:

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/decomp"
-	"repro/internal/encoder"
-	"repro/internal/pdsat"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // ExampleRunner_EvaluatePoint evaluates the predictive function F (eq. 5 of

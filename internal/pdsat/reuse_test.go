@@ -4,9 +4,9 @@ import (
 	"context"
 	"testing"
 
-	"repro/internal/cluster"
-	"repro/internal/encoder"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // TestEvaluatePointUnaffectedBySolverReuse is the runner-level counterpart

@@ -46,11 +46,11 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/cnf"
-	"repro/internal/decomp"
-	"repro/internal/montecarlo"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // Config configures a Runner.
@@ -239,6 +239,19 @@ type PointEstimate struct {
 	Interrupted bool
 }
 
+// Progress describes one completed subproblem within a running evaluation
+// (EvaluatePointObserved) or family-processing call (SolveObserved).
+type Progress struct {
+	// Done is the number of subproblem results collected so far in this
+	// call, including cancelled placeholders; Total is the call's batch
+	// size, so Done == Total on the last notification.
+	Done, Total int
+	// Result is the subproblem result that triggered the notification
+	// (Result.Started is false for tasks cancelled before a solver saw
+	// them).
+	Result cluster.TaskResult
+}
+
 // EvaluatePoint computes the predictive function F at the decomposition set
 // given by the point, using the runner's sample size and worker transport.
 // The evaluation is deterministic for a fixed configuration when the cost
@@ -252,6 +265,16 @@ type PointEstimate struct {
 // Interrupted) together with the context's error, so an interrupted run can
 // still print a report; the result is nil only if no subproblem finished.
 func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstimate, error) {
+	return r.EvaluatePointObserved(ctx, p, nil)
+}
+
+// EvaluatePointObserved behaves exactly like EvaluatePoint but additionally
+// streams a Progress notification for every collected subproblem result to
+// observe (when non-nil).  Notifications arrive from a single goroutine, in
+// collection order; observe must not block for long.  The estimate itself
+// is bit-identical to EvaluatePoint's — observation never changes the
+// sample, the costs or the evaluation counter.
+func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, observe func(Progress)) (*PointEstimate, error) {
 	if r.cfgErr != nil {
 		return nil, r.cfgErr
 	}
@@ -281,7 +304,7 @@ func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstim
 		tasks[i] = cluster.Task{Index: i, Assumptions: assumptions}
 	}
 
-	results, runErr := r.runTasks(ctx, tasks, cluster.StopNone, false)
+	results, runErr := r.runTasksObserved(ctx, tasks, cluster.StopNone, false, observe)
 	if runErr != nil && !cluster.IsInterruption(runErr) {
 		return nil, runErr
 	}
@@ -369,17 +392,37 @@ func (r *Runner) absorbActivities(results []cluster.TaskResult) {
 	}
 }
 
-// runTasks dispatches one batch through the transport.  Each transport
-// worker owns one persistent solver; retain selects whether it keeps
-// learned clauses across tasks (solving mode with Config.RetainLearned) or
-// is restored to its pristine state before every task.
-func (r *Runner) runTasks(ctx context.Context, tasks []cluster.Task, stop cluster.StopMode, retain bool) ([]cluster.TaskResult, error) {
-	return r.transport.Run(ctx, tasks, cluster.BatchOptions{
+// runTasksObserved dispatches one batch through the transport.  Each
+// transport worker owns one persistent solver; retain selects whether it
+// keeps learned clauses across tasks (solving mode with Config.RetainLearned)
+// or is restored to its pristine state before every task.  observe (when
+// non-nil) receives a Progress notification per collected result; transports
+// without in-flight observation support deliver all notifications after the
+// batch completes, preserving order.
+func (r *Runner) runTasksObserved(ctx context.Context, tasks []cluster.Task, stop cluster.StopMode, retain bool, observe func(Progress)) ([]cluster.TaskResult, error) {
+	opts := cluster.BatchOptions{
 		Stop:       stop,
 		Retain:     retain,
 		Budget:     r.cfg.SubproblemBudget,
 		CostMetric: r.cfg.CostMetric,
-	})
+	}
+	if observe == nil {
+		return r.transport.Run(ctx, tasks, opts)
+	}
+	total := len(tasks)
+	done := 0
+	observeResult := func(res cluster.TaskResult) {
+		done++
+		observe(Progress{Done: done, Total: total, Result: res})
+	}
+	if ot, ok := r.transport.(cluster.ObservedTransport); ok {
+		return ot.RunObserved(ctx, tasks, opts, observeResult)
+	}
+	results, err := r.transport.Run(ctx, tasks, opts)
+	for _, res := range results {
+		observeResult(res)
+	}
+	return results, err
 }
 
 // SolveReport is the outcome of processing a whole decomposition family
@@ -428,6 +471,14 @@ type SolveOptions struct {
 // learned clauses across subproblems, which usually lowers the total effort
 // at the price of scheduling-dependent per-subproblem costs.
 func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (*SolveReport, error) {
+	return r.SolveObserved(ctx, p, opts, nil)
+}
+
+// SolveObserved behaves exactly like Solve but additionally streams a
+// Progress notification for every collected subproblem result to observe
+// (when non-nil), with the same single-goroutine, in-order contract as
+// EvaluatePointObserved.
+func (r *Runner) SolveObserved(ctx context.Context, p decomp.Point, opts SolveOptions, observe func(Progress)) (*SolveReport, error) {
 	if r.cfgErr != nil {
 		return nil, r.cfgErr
 	}
@@ -452,7 +503,7 @@ func (r *Runner) Solve(ctx context.Context, p decomp.Point, opts SolveOptions) (
 	if opts.StopOnSat {
 		stop = cluster.StopOnSat
 	}
-	results, err := r.runTasks(ctx, tasks, stop, r.cfg.RetainLearned)
+	results, err := r.runTasksObserved(ctx, tasks, stop, r.cfg.RetainLearned, observe)
 	interrupted := false
 	if err != nil {
 		if cluster.IsInterruption(err) {

@@ -6,11 +6,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/decomp"
-	"repro/internal/encoder"
-	"repro/internal/montecarlo"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // weakBivium builds a small weakened Bivium instance suitable for fast tests.
@@ -266,12 +266,22 @@ func TestSolveContextCancellation(t *testing.T) {
 	}
 }
 
+// TestEstimateForCores pins the edge cases of the core-count extrapolation
+// the reports rely on: core counts ≤ 1 are the identity (a prediction is
+// never inflated by a bogus core count) and a zero estimate stays zero.
 func TestEstimateForCores(t *testing.T) {
 	if EstimateForCores(960, 480) != 2 {
 		t.Fatal("EstimateForCores")
 	}
-	if EstimateForCores(960, 1) != 960 {
-		t.Fatal("EstimateForCores with one core")
+	for _, cores := range []int{-3, 0, 1} {
+		if got := EstimateForCores(960, cores); got != 960 {
+			t.Fatalf("EstimateForCores(960, %d) = %v, want identity", cores, got)
+		}
+	}
+	for _, cores := range []int{-3, 0, 1, 480} {
+		if got := EstimateForCores(0, cores); got != 0 {
+			t.Fatalf("EstimateForCores(0, %d) = %v, want 0", cores, got)
+		}
 	}
 }
 

@@ -19,9 +19,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // Member is one portfolio entry: a named solver configuration.

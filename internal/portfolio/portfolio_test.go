@@ -6,10 +6,10 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cnf"
-	"repro/internal/cnfgen"
-	"repro/internal/encoder"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnfgen"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 func TestDefaultMembersAreDistinct(t *testing.T) {

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // TestAssumptionsEquivalentToUnits checks the property the whole

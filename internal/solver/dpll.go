@@ -1,7 +1,7 @@
 package solver
 
 import (
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // DPLL is a tiny reference solver (plain Davis–Putnam–Logemann–Loveland with

@@ -3,8 +3,8 @@ package solver_test
 import (
 	"fmt"
 
-	"repro/internal/cnf"
-	"repro/internal/solver"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/solver"
 )
 
 // ExampleSolver_Reset shows the pristine session mode: one solver answers a

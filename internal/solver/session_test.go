@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/cnf"
-	"repro/internal/cnfgen"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnfgen"
 )
 
 // randomAssumptions draws k distinct-variable assumption literals.

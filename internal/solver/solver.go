@@ -52,7 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 // Status is the outcome of a solving attempt.

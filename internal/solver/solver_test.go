@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
-	"repro/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
 )
 
 func mustSolve(t *testing.T, f *cnf.Formula) Result {

@@ -1,0 +1,34 @@
+// Package pdsat is the public, job-oriented API of the library: it ties the
+// SAT substrate, the cryptanalysis encodings, the Monte Carlo estimator,
+// the metaheuristic minimizers and the leader/worker runner into the
+// workflow of the paper (Semenov & Zaikin, PaCT 2015), exposed as
+// asynchronous jobs with typed progress-event streams.
+//
+//  1. Build a SAT instance together with its starting decomposition set
+//     (Problem: FromGenerator, FromDIMACSFile, FromInstance, FromFormula).
+//  2. Open a Session for it (NewSession).  The session owns one
+//     leader/worker runner — in-process goroutine workers by default, or a
+//     network cluster via Config.Runner.Transport.
+//  3. Submit work as jobs: EstimateJob evaluates the predictive function F
+//     for a decomposition set, SearchJob minimizes F with simulated
+//     annealing or tabu search, SolveJob processes a whole decomposition
+//     family (key recovery).
+//  4. Follow a job through its typed event stream (Job.Events):
+//     SampleProgress per solved subproblem (evenly sampled on very large
+//     families), SearchVisit per optimizer step, WorkerJoined/WorkerLost
+//     from the cluster leader, and a single terminal Done — also on
+//     cancellation.  Collect the result with Job.Result, interrupt with
+//     Job.Cancel.
+//
+// Estimation and solving runs of real instances take hours to days; the
+// job model is what lets a caller watch them progress and interrupt them
+// without losing the partial result.  For quick scripts the Session also
+// offers synchronous wrappers (EstimatePoint, SearchTabu, SolveWithSet,
+// PredictAndSolve, …) that submit a job and wait for it — both paths
+// produce bit-identical results for a fixed seed.
+//
+// Server exposes the same API over HTTP/JSON (submit, stream events as
+// NDJSON or SSE, fetch results, cancel); `pdsat -serve :8080` serves it
+// from the command line.  See the package example and README.md for
+// walkthroughs.
+package pdsat

@@ -1,0 +1,202 @@
+package pdsat
+
+import (
+	"context"
+	"sync"
+)
+
+// Event is a typed progress notification from a running Job.  The concrete
+// types are SampleProgress, SearchVisit, WorkerJoined, WorkerLost and Done.
+//
+// Every job's event stream is ordered (events arrive in the order the job
+// produced them) and terminates with exactly one Done event — also when the
+// job is cancelled or fails.  No events follow the Done.
+type Event interface {
+	// EventKind returns the stable wire name of the event type
+	// ("sample_progress", "search_visit", "worker_joined", "worker_lost",
+	// "done"); the HTTP server uses it as the SSE event name and NDJSON
+	// discriminator.
+	EventKind() string
+}
+
+// SampleProgress reports one collected subproblem result inside an
+// estimation run (a Monte Carlo sample member), a solving run (a member of
+// the decomposition family) or a search run (a sample member of the
+// evaluation the optimizer is currently performing).  Batches small enough
+// to retain report every subproblem; larger ones (solving runs over big
+// families) are decimated to evenly spaced notifications, with satisfiable
+// results and the batch's final result always reported, so Done counters
+// stay monotonic and end at Total.
+type SampleProgress struct {
+	// Job is the reporting job's ID.
+	Job string `json:"job"`
+	// Done counts the subproblem results collected so far in the current
+	// batch; Total is the batch size.  Done == Total on the batch's last
+	// notification.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Cost is the subproblem's observed cost in the session's cost metric.
+	Cost float64 `json:"cost"`
+	// Satisfiable reports whether the subproblem was SAT.
+	Satisfiable bool `json:"satisfiable"`
+	// Solved distinguishes real solves from placeholders for subproblems
+	// cancelled before a solver saw them.
+	Solved bool `json:"solved"`
+}
+
+// EventKind implements Event.
+func (SampleProgress) EventKind() string { return "sample_progress" }
+
+// SearchVisit reports one optimizer step of a search job: a fresh
+// evaluation of the predictive function at a candidate decomposition set.
+type SearchVisit struct {
+	// Job is the reporting job's ID.
+	Job string `json:"job"`
+	// Index is the evaluation number (0-based, cache hits excluded).
+	Index int `json:"index"`
+	// Vars is the visited decomposition set, sorted by variable index.
+	Vars []Var `json:"vars"`
+	// Value is the predictive function value F at the visited point.
+	Value float64 `json:"value"`
+	// Accepted reports whether the point became the new search centre;
+	// Improved whether it improved the best known value.
+	Accepted bool `json:"accepted"`
+	Improved bool `json:"improved"`
+}
+
+// EventKind implements Event.
+func (SearchVisit) EventKind() string { return "search_visit" }
+
+// WorkerJoined reports that a remote worker registered with the session's
+// cluster leader while the job was running (see Session.PublishWorkerJoined).
+type WorkerJoined struct {
+	// Job is the receiving job's ID.
+	Job string `json:"job"`
+	// Worker is the worker's self-reported name; Slots its solving capacity.
+	Worker string `json:"worker"`
+	Slots  int    `json:"slots"`
+}
+
+// EventKind implements Event.
+func (WorkerJoined) EventKind() string { return "worker_joined" }
+
+// WorkerLost reports that a remote worker was declared lost while the job
+// was running; its in-flight subproblems were requeued onto the remaining
+// workers.
+type WorkerLost struct {
+	// Job is the receiving job's ID.
+	Job string `json:"job"`
+	// Worker is the lost worker's name; Requeued how many of its in-flight
+	// subproblems were requeued.
+	Worker   string `json:"worker"`
+	Requeued int    `json:"requeued"`
+}
+
+// EventKind implements Event.
+func (WorkerLost) EventKind() string { return "worker_lost" }
+
+// Done is the final event of every job's stream: the job finished, failed
+// or was cancelled.  Exactly one Done is emitted per job and nothing
+// follows it.
+type Done struct {
+	// Job is the finished job's ID.
+	Job string `json:"job"`
+	// Err is the job's error message, empty on success.  A cancelled
+	// estimation that still produced a partial result carries both the
+	// context error here and the partial result on the job.
+	Err string `json:"err,omitempty"`
+	// Cancelled reports whether the job ended because its context was
+	// cancelled (Job.Cancel, session close, or a parent context).
+	Cancelled bool `json:"cancelled"`
+}
+
+// EventKind implements Event.
+func (Done) EventKind() string { return "done" }
+
+// eventLog is a job's append-only event history plus the subscription
+// machinery: every subscriber replays the log from the start and then
+// follows live appends, so late subscribers (e.g. an HTTP client attaching
+// after the job finished) still observe the full ordered stream including
+// the terminal Done.  Appending never blocks on subscribers.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	done   bool
+	// change is closed and replaced whenever events grow or done flips;
+	// subscribers wait on it instead of polling.
+	change chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{change: make(chan struct{})}
+}
+
+// append records an event.  Appends after finish are dropped, which is what
+// guarantees that nothing follows a job's Done.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.events = append(l.events, e)
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// finish appends the terminal event and seals the log.
+func (l *eventLog) finish(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.events = append(l.events, e)
+	l.done = true
+	close(l.change)
+	// Leave a fresh (never closed) channel so late snapshot calls work.
+	l.change = make(chan struct{})
+}
+
+// snapshot returns the events from offset onward, whether the log is
+// sealed, and a channel that is closed on the next change.
+func (l *eventLog) snapshot(offset int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset > len(l.events) {
+		offset = len(l.events)
+	}
+	return l.events[offset:], l.done, l.change
+}
+
+// subscribe streams the full ordered event history plus live appends into a
+// fresh channel.  The channel is closed after the terminal event has been
+// delivered, or early when ctx is cancelled (the stream is then truncated
+// but still ordered).
+func (l *eventLog) subscribe(ctx context.Context) <-chan Event {
+	out := make(chan Event)
+	go func() {
+		defer close(out)
+		offset := 0
+		for {
+			events, done, change := l.snapshot(offset)
+			for _, e := range events {
+				select {
+				case out <- e:
+				case <-ctx.Done():
+					return
+				}
+			}
+			offset += len(events)
+			if done {
+				return
+			}
+			select {
+			case <-change:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,10 @@
+package pdsat
+
+// SetMaxSampleEventsForTest overrides the per-batch SampleProgress budget
+// so tests can exercise the decimation on small, fast batches.  It returns
+// a restore function.
+func SetMaxSampleEventsForTest(n int) (restore func()) {
+	old := maxSampleEvents
+	maxSampleEvents = n
+	return func() { maxSampleEvents = old }
+}

@@ -1,0 +1,370 @@
+package pdsat
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+)
+
+// JobKind identifies the type of work a job performs.
+type JobKind string
+
+// The three job kinds of the paper's PDSAT workflow.
+const (
+	JobEstimate JobKind = "estimate"
+	JobSearch   JobKind = "search"
+	JobSolve    JobKind = "solve"
+)
+
+// Search method names accepted by SearchJob.Method (the short forms "sa"
+// and "tabu" are accepted too; empty means tabu search).
+const (
+	MethodSimulatedAnnealing = "simulated annealing"
+	MethodTabu               = "tabu search"
+)
+
+// JobSpec describes one unit of asynchronous work for Session.Submit.  The
+// implementations are EstimateJob, SearchJob and SolveJob.
+type JobSpec interface {
+	// Kind returns the job kind.
+	Kind() JobKind
+	// validate checks the spec against the session eagerly, so Submit
+	// fails before a job is created.
+	validate(s *Session) error
+	// run executes the spec on the job's goroutine.
+	run(ctx context.Context, j *Job) (*JobResult, error)
+}
+
+// EstimateJob evaluates the predictive function F at one decomposition
+// set.  It emits a SampleProgress event per collected subproblem result and
+// produces JobResult.Estimate.
+type EstimateJob struct {
+	// Vars is the decomposition set to estimate; empty means the full
+	// start set.  It must be a subset of the problem's start set.
+	Vars []Var `json:"vars,omitempty"`
+}
+
+// Kind implements JobSpec.
+func (EstimateJob) Kind() JobKind { return JobEstimate }
+
+func (spec EstimateJob) validate(s *Session) error {
+	_, err := s.pointFromVars(spec.Vars)
+	return err
+}
+
+func (spec EstimateJob) run(ctx context.Context, j *Job) (*JobResult, error) {
+	p, err := j.session.pointFromVars(spec.Vars)
+	if err != nil {
+		return nil, err
+	}
+	est, err := j.session.estimateObserved(ctx, p, j)
+	if est == nil {
+		return nil, err
+	}
+	return &JobResult{Estimate: est}, err
+}
+
+// SearchJob minimizes the predictive function with one of the paper's
+// metaheuristics.  It emits a SearchVisit event per optimizer step and
+// SampleProgress events for the samples of the evaluation currently in
+// flight, and produces JobResult.Search.
+type SearchJob struct {
+	// Method selects the metaheuristic: "sa"/"simulated annealing" or
+	// "tabu"/"tabu search" (default).
+	Method string `json:"method,omitempty"`
+	// Start is the starting decomposition set; empty means the full start
+	// set, as in the paper.
+	Start []Var `json:"start,omitempty"`
+}
+
+// Kind implements JobSpec.
+func (SearchJob) Kind() JobKind { return JobSearch }
+
+// methodName normalizes the accepted method spellings.
+func (spec SearchJob) methodName() (string, error) {
+	switch spec.Method {
+	case "sa", "annealing", MethodSimulatedAnnealing:
+		return MethodSimulatedAnnealing, nil
+	case "", "tabu", MethodTabu:
+		return MethodTabu, nil
+	default:
+		return "", fmt.Errorf("pdsat: unknown search method %q", spec.Method)
+	}
+}
+
+func (spec SearchJob) validate(s *Session) error {
+	if _, err := spec.methodName(); err != nil {
+		return err
+	}
+	_, err := s.pointFromVars(spec.Start)
+	return err
+}
+
+func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
+	s := j.session
+	method, err := spec.methodName()
+	if err != nil {
+		return nil, err
+	}
+	start, err := s.pointFromVars(spec.Start)
+	if err != nil {
+		return nil, err
+	}
+	obj := &jobObjective{session: s, job: j}
+	opts := s.cfg.Search
+	// Emit a SearchVisit per optimizer step, chaining (not replacing) an
+	// observer the session's configuration already carries.
+	userObserver := opts.Observer
+	opts.Observer = func(v optimize.Visit) {
+		if userObserver != nil {
+			userObserver(v)
+		}
+		j.emit(SearchVisit{
+			Job:      j.id,
+			Index:    v.Index,
+			Vars:     v.Point.SortedVars(),
+			Value:    v.Value,
+			Accepted: v.Accepted,
+			Improved: v.Improved,
+		})
+	}
+	var res *SearchResult
+	switch method {
+	case MethodSimulatedAnnealing:
+		res, err = optimize.SimulatedAnnealing(ctx, obj, start, opts)
+	default:
+		res, err = optimize.TabuSearch(ctx, obj, start, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	best, err := s.estimateObserved(ctx, res.BestPoint, j)
+	if best == nil && err != nil {
+		// The search itself succeeded; return its result even if the final
+		// re-estimation was interrupted before producing anything.
+		return &JobResult{Search: &SearchOutcome{Method: method, Result: res}}, nil
+	}
+	return &JobResult{Search: &SearchOutcome{Method: method, Result: res, Best: best}}, nil
+}
+
+// jobObjective adapts the session's runner as the optimizer objective while
+// streaming each evaluation's sample progress into the job's event stream.
+// It forwards the runner's conflict-activity statistics, so the tabu
+// search's getNewCenter heuristic behaves exactly as with the bare runner.
+type jobObjective struct {
+	session *Session
+	job     *Job
+}
+
+// Evaluate implements optimize.Objective.
+func (o *jobObjective) Evaluate(ctx context.Context, p Point) (float64, error) {
+	pe, err := o.session.runner.EvaluatePointObserved(ctx, p, sampleObserver(o.job))
+	if err != nil {
+		return 0, err
+	}
+	return pe.Estimate.Value, nil
+}
+
+// VarActivity implements optimize.ActivitySource.
+func (o *jobObjective) VarActivity(v Var) float64 { return o.session.runner.VarActivity(v) }
+
+// SolveJob processes the whole decomposition family induced by a set:
+// enumerate every assignment, solve every subproblem.  It emits a
+// SampleProgress event per processed subproblem and produces
+// JobResult.Solve.
+type SolveJob struct {
+	// Vars is the decomposition set; empty means the full start set.  The
+	// set must be small enough to enumerate (|Vars| < 63).
+	Vars []Var `json:"vars,omitempty"`
+	// StopOnSat stops processing as soon as one subproblem is satisfiable
+	// (key recovery); otherwise the whole family is processed (validation
+	// runs).
+	StopOnSat bool `json:"stop_on_sat,omitempty"`
+	// MaxSubproblems bounds the number of processed subproblems (0 = all).
+	MaxSubproblems uint64 `json:"max_subproblems,omitempty"`
+}
+
+// Kind implements JobSpec.
+func (SolveJob) Kind() JobKind { return JobSolve }
+
+func (spec SolveJob) validate(s *Session) error {
+	_, err := s.pointFromVars(spec.Vars)
+	return err
+}
+
+func (spec SolveJob) run(ctx context.Context, j *Job) (*JobResult, error) {
+	p, err := j.session.pointFromVars(spec.Vars)
+	if err != nil {
+		return nil, err
+	}
+	report, err := j.session.runner.SolveObserved(ctx, p, SolveOptions{
+		StopOnSat:      spec.StopOnSat,
+		MaxSubproblems: spec.MaxSubproblems,
+	}, sampleObserver(j))
+	if report == nil {
+		return nil, err
+	}
+	return &JobResult{Solve: report}, err
+}
+
+// JobResult carries a finished job's typed result: exactly one field is
+// non-nil, matching the job's kind.
+type JobResult struct {
+	// Estimate is an EstimateJob's result.
+	Estimate *SetEstimate `json:"estimate,omitempty"`
+	// Search is a SearchJob's result.
+	Search *SearchOutcome `json:"search,omitempty"`
+	// Solve is a SolveJob's result.
+	Solve *SolveReport `json:"solve,omitempty"`
+}
+
+// Job is the handle of one submitted unit of work.  It exposes the job's
+// typed progress-event stream (Events/Subscribe), its result (Result) and
+// cancellation (Cancel).
+type Job struct {
+	id      string
+	kind    JobKind
+	session *Session
+	cancel  context.CancelFunc
+	log     *eventLog
+	done    chan struct{}
+
+	mu     sync.Mutex
+	result *JobResult
+	err    error
+}
+
+// Submit validates the spec, registers a job and starts it asynchronously.
+// ctx bounds the job's lifetime (independently of Cancel); pass
+// context.Background() for a job that only ends on its own or via Cancel.
+func (s *Session) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("pdsat: nil job spec")
+	}
+	if err := spec.validate(s); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pdsat: session is closed")
+	}
+	s.nextID++
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		kind:    spec.Kind(),
+		session: s,
+		cancel:  cancel,
+		log:     newEventLog(),
+		done:    make(chan struct{}),
+	}
+	s.jobs = append(s.jobs, j)
+	s.byID[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		result, err := spec.run(jctx, j)
+		j.finish(result, err, jctx.Err() != nil)
+	}()
+	return j, nil
+}
+
+// EstimateJob submits an estimation job: Submit with a typed spec.
+func (s *Session) EstimateJob(ctx context.Context, spec EstimateJob) (*Job, error) {
+	return s.Submit(ctx, spec)
+}
+
+// SearchJob submits a search job: Submit with a typed spec.
+func (s *Session) SearchJob(ctx context.Context, spec SearchJob) (*Job, error) {
+	return s.Submit(ctx, spec)
+}
+
+// SolveJob submits a solving job: Submit with a typed spec.
+func (s *Session) SolveJob(ctx context.Context, spec SolveJob) (*Job, error) {
+	return s.Submit(ctx, spec)
+}
+
+// ID returns the job's session-unique identifier ("job-1", "job-2", …).
+func (j *Job) ID() string { return j.id }
+
+// Kind returns the job's kind.
+func (j *Job) Kind() JobKind { return j.kind }
+
+// Events returns an ordered stream of the job's progress events, from the
+// job's start through its terminal Done event, after which the channel is
+// closed.  Every call returns a fresh channel replaying the full history,
+// so late and concurrent consumers all observe the same ordered stream.
+// Abandoning the channel before it closes parks its forwarding goroutine
+// for the life of the process (nothing ever cancels its pending send);
+// a consumer that may detach early must use Subscribe with a cancellable
+// context instead.
+func (j *Job) Events() <-chan Event { return j.log.subscribe(context.Background()) }
+
+// Subscribe is Events with a detach handle: the returned channel closes
+// when the stream ends or ctx is cancelled, whichever comes first.
+func (j *Job) Subscribe(ctx context.Context) <-chan Event { return j.log.subscribe(ctx) }
+
+// Done returns a channel closed when the job has finished (its result and
+// error are then final and the Done event has been emitted).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result blocks until the job finishes (or ctx is cancelled) and returns
+// its result.  Both may be non-nil at once: a cancelled estimation returns
+// the partial estimate together with the context's error.  Result does not
+// cancel the job when ctx expires — it stops waiting.
+func (j *Job) Result(ctx context.Context) (*JobResult, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Cancel asks the job to stop.  Running subproblems receive the solver's
+// non-blocking interrupt, the job finishes promptly with a partial result
+// where the mode supports one, and the event stream still terminates with
+// its single Done event.  Cancel is idempotent and safe after completion.
+func (j *Job) Cancel() { j.cancel() }
+
+// Err returns the job's error, or nil while it is still running.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Finished reports whether the job has completed.
+func (j *Job) Finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// emit appends an event to the job's stream (dropped once the stream is
+// sealed by Done).
+func (j *Job) emit(e Event) { j.log.append(e) }
+
+// finish records the result, emits the single terminal Done event and
+// seals the stream.
+func (j *Job) finish(result *JobResult, err error, cancelled bool) {
+	j.mu.Lock()
+	j.result = result
+	j.err = err
+	j.mu.Unlock()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	j.log.finish(Done{Job: j.id, Err: msg, Cancelled: cancelled})
+	close(j.done)
+}

@@ -1,0 +1,168 @@
+package pdsat
+
+import (
+	"errors"
+
+	"github.com/paper-repro/pdsat-go/internal/cluster"
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// The library's substrate lives in internal/ packages; the aliases below
+// re-export the types a caller needs to configure a Session and interpret
+// its results, so the public surface is importable from outside the module.
+
+// Var identifies a CNF variable (1-based, as in DIMACS).
+type Var = cnf.Var
+
+// Lit is a CNF literal: +v or -v for a variable v.
+type Lit = cnf.Lit
+
+// Formula is a CNF formula.
+type Formula = cnf.Formula
+
+// Assignment maps variables to truth values (a model when total).
+type Assignment = cnf.Assignment
+
+// Point is the indicator vector of a decomposition set over a search Space.
+type Point = decomp.Point
+
+// Space is the ordered universe of candidate decomposition variables.
+type Space = decomp.Space
+
+// Estimate is a Monte Carlo estimate of the predictive function
+// (F = 2^d · mean over a random sample of subproblem costs).
+type Estimate = montecarlo.Estimate
+
+// RunnerConfig configures the leader/worker runner backing a Session:
+// sample size, workers, seed, cost metric, solver options and an optional
+// cluster transport.
+type RunnerConfig = runner.Config
+
+// SolveOptions configure family processing (stop-on-SAT, subproblem cap).
+type SolveOptions = runner.SolveOptions
+
+// SolveReport is the outcome of processing a whole decomposition family.
+type SolveReport = runner.SolveReport
+
+// SearchOptions configure the metaheuristic minimizers (radius, budgets,
+// seed, annealing schedule).
+type SearchOptions = optimize.Options
+
+// SearchResult is the raw optimizer outcome (best point, trace, stop
+// reason).
+type SearchResult = optimize.Result
+
+// StopReason describes why a search terminated.
+type StopReason = optimize.StopReason
+
+// Search stop reasons, re-exported from the optimizer.
+const (
+	StopTime         = optimize.StopTime
+	StopEvaluations  = optimize.StopEvaluations
+	StopTemperature  = optimize.StopTemperature
+	StopExhausted    = optimize.StopExhausted
+	StopContext      = optimize.StopContext
+	StopNoImprovment = optimize.StopNoImprovment
+)
+
+// Transport decides where subproblem batches run; see NewInprocTransport
+// and the cluster leader in cmd/pdsat for the two built-in backends.
+type Transport = cluster.Transport
+
+// CostMetric selects the cost unit ζ of the predictive function.
+type CostMetric = solver.CostMetric
+
+// SolverOptions configure the per-subproblem CDCL solver.
+type SolverOptions = solver.Options
+
+// Budget bounds the effort spent on a single subproblem.
+type Budget = solver.Budget
+
+// GeneratorConfig configures an on-the-fly cryptanalysis instance (see
+// FromGenerator): keystream length, number of known trailing state bits and
+// the secret's seed.
+type GeneratorConfig = encoder.Config
+
+// Cost metrics, re-exported from the solver.
+const (
+	CostConflicts    = solver.CostConflicts
+	CostPropagations = solver.CostPropagations
+	CostDecisions    = solver.CostDecisions
+	CostWallTime     = solver.CostWallTime
+)
+
+// Problem is a SAT instance plus the starting decomposition set from which
+// partitionings are searched.
+type Problem struct {
+	// Name identifies the problem in reports.
+	Name string
+	// Formula is the CNF to be partitioned.
+	Formula *Formula
+	// StartSet is X̃_start, the initial decomposition set (for cryptanalysis
+	// instances: the unknown circuit-input variables, a Strong
+	// Unit-Propagation Backdoor Set).
+	StartSet []Var
+	// Instance optionally carries the cryptanalysis metadata (secret,
+	// keystream) enabling end-to-end key checks.
+	Instance *encoder.Instance
+}
+
+// FromInstance wraps a cryptanalysis instance as a Problem; the start set is
+// the instance's unknown start variables.
+func FromInstance(inst *encoder.Instance) *Problem {
+	return &Problem{
+		Name:     inst.Name,
+		Formula:  inst.CNF,
+		StartSet: inst.UnknownStartVars(),
+		Instance: inst,
+	}
+}
+
+// FromFormula wraps an arbitrary CNF and starting set as a Problem.
+func FromFormula(name string, f *Formula, start []Var) *Problem {
+	return &Problem{Name: name, Formula: f, StartSet: append([]Var(nil), start...)}
+}
+
+// FromGenerator builds a cryptanalysis Problem on the fly from one of the
+// paper's keystream generators ("a5/1", "bivium" or "grain").
+func FromGenerator(name string, cfg GeneratorConfig) (*Problem, error) {
+	gen, err := encoder.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := encoder.NewInstance(gen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromInstance(inst), nil
+}
+
+// FromDIMACSFile parses a DIMACS CNF file and wraps it as a Problem with
+// the given starting decomposition set.
+func FromDIMACSFile(path string, start []Var) (*Problem, error) {
+	f, err := cnf.ParseDIMACSFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(start) == 0 {
+		return nil, errors.New("pdsat: empty starting decomposition set")
+	}
+	return FromFormula(path, f, start), nil
+}
+
+// Space returns the search space over the problem's start set.
+func (p *Problem) Space() *Space { return decomp.NewSpace(p.StartSet) }
+
+// NewInprocTransport creates the default in-process transport explicitly:
+// worker goroutines with persistent pooled solvers.  Sessions create one
+// automatically when Config.Runner.Transport is nil; an explicit transport
+// is useful to share a solver pool between sessions on the same formula.
+func NewInprocTransport(f *Formula, workers int, opts SolverOptions) Transport {
+	return cluster.NewInproc(f, workers, opts)
+}

@@ -1,0 +1,284 @@
+package pdsat
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes a Session's job-oriented API over HTTP/JSON (standard
+// library only).  Endpoints:
+//
+//	POST /v1/jobs              submit a job ({"kind":"estimate"|"search"|"solve", ...})
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job's status and (when finished) result
+//	GET  /v1/jobs/{id}/events  stream the job's events as NDJSON
+//	                           (or SSE with Accept: text/event-stream)
+//	POST /v1/jobs/{id}/cancel  cancel a job
+//	DELETE /v1/jobs/{id}       evict a finished job (free its history)
+//	GET  /v1/problem           the served problem's metadata
+//
+// Jobs submitted over HTTP are bound to the session, not to the submitting
+// request: they keep running after the request returns and are cancelled
+// only via the cancel endpoint or Server/Session shutdown.  The event
+// stream replays from the job's start, so clients may attach at any time —
+// including after completion — and still observe the full ordered stream
+// terminated by the single "done" event.  Replay means jobs and their event
+// histories are retained until deleted: a long-lived server should DELETE
+// finished jobs it no longer needs, or its memory grows with every job.
+type Server struct {
+	session *Session
+	mux     *http.ServeMux
+}
+
+// NewServer creates an HTTP handler serving the session's job API.
+func NewServer(s *Session) *Server {
+	srv := &Server{session: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	srv.mux.HandleFunc("GET /v1/jobs", srv.handleList)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleStatus)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("POST /v1/jobs/{id}/cancel", srv.handleCancel)
+	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleDelete)
+	srv.mux.HandleFunc("GET /v1/problem", srv.handleProblem)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { srv.mux.ServeHTTP(w, r) }
+
+// submitRequest is the JSON body of POST /v1/jobs.
+type submitRequest struct {
+	Kind           JobKind `json:"kind"`
+	Vars           []Var   `json:"vars"`
+	Method         string  `json:"method"`
+	Start          []Var   `json:"start"`
+	StopOnSat      bool    `json:"stop_on_sat"`
+	MaxSubproblems uint64  `json:"max_subproblems"`
+}
+
+// spec converts the request into the matching JobSpec.
+func (req submitRequest) spec() (JobSpec, error) {
+	switch req.Kind {
+	case JobEstimate:
+		return EstimateJob{Vars: req.Vars}, nil
+	case JobSearch:
+		return SearchJob{Method: req.Method, Start: req.Start}, nil
+	case JobSolve:
+		return SolveJob{Vars: req.Vars, StopOnSat: req.StopOnSat, MaxSubproblems: req.MaxSubproblems}, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want estimate, search or solve)", req.Kind)
+	}
+}
+
+func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The job belongs to the session, not to this request: it must keep
+	// running after the submitting connection closes.
+	j, err := srv.session.Submit(context.WithoutCancel(r.Context()), spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, jobStatus(j))
+}
+
+func (srv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := srv.session.Jobs()
+	out := make([]jobStatusJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobStatus(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (srv *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := srv.session.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (srv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := srv.job(w, r); ok {
+		writeJSON(w, http.StatusOK, jobStatus(j))
+	}
+}
+
+func (srv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := srv.job(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, jobStatus(j))
+	}
+}
+
+// handleDelete evicts a finished job, releasing its retained event history
+// and result; long-lived servers use it to bound memory.
+func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := srv.job(w, r)
+	if !ok {
+		return
+	}
+	if err := srv.session.Remove(j.ID()); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": j.ID()})
+}
+
+func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := srv.job(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for e := range j.Subscribe(r.Context()) {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.EventKind(), payload)
+		} else {
+			fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", e.EventKind(), payload)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (srv *Server) handleProblem(w http.ResponseWriter, r *http.Request) {
+	p := srv.session.Problem()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       p.Name,
+		"variables":  p.Formula.NumVars,
+		"clauses":    p.Formula.NumClauses(),
+		"start_set":  p.StartSet,
+		"cores":      srv.session.Config().Cores,
+		"generators": p.Instance != nil,
+	})
+}
+
+// jobStatusJSON is the wire form of a job's status.
+type jobStatusJSON struct {
+	ID    string  `json:"id"`
+	Kind  JobKind `json:"kind"`
+	State string  `json:"state"`
+	Error string  `json:"error,omitempty"`
+	// Result is present once the job finished with a result (possibly a
+	// partial one next to a non-empty Error, for cancelled estimations).
+	Result *resultJSON `json:"result,omitempty"`
+}
+
+// resultJSON is the wire form of a JobResult.
+type resultJSON struct {
+	Estimate *SetEstimate `json:"estimate,omitempty"`
+	Search   *searchJSON  `json:"search,omitempty"`
+	Solve    *solveJSON   `json:"solve,omitempty"`
+}
+
+// searchJSON flattens a SearchOutcome for the wire (the raw optimizer
+// result holds unexported search-space state).
+type searchJSON struct {
+	Method      string        `json:"method"`
+	BestVars    []Var         `json:"best_vars"`
+	BestValue   float64       `json:"best_value"`
+	Evaluations int           `json:"evaluations"`
+	Stop        string        `json:"stop"`
+	WallTime    time.Duration `json:"wall_time_ns"`
+	Best        *SetEstimate  `json:"best_estimate,omitempty"`
+}
+
+// solveJSON flattens a SolveReport for the wire.
+type solveJSON struct {
+	Vars           []Var         `json:"vars"`
+	Processed      int           `json:"processed"`
+	TotalCost      float64       `json:"total_cost"`
+	CostToFirstSat float64       `json:"cost_to_first_sat"`
+	FoundSat       bool          `json:"found_sat"`
+	SatIndex       int64         `json:"sat_index"`
+	WallTime       time.Duration `json:"wall_time_ns"`
+	Interrupted    bool          `json:"interrupted"`
+}
+
+// jobStatus renders a job's current state.
+func jobStatus(j *Job) jobStatusJSON {
+	st := jobStatusJSON{ID: j.ID(), Kind: j.Kind(), State: "running"}
+	if !j.Finished() {
+		return st
+	}
+	result, err := j.Result(context.Background())
+	switch {
+	case err == nil:
+		st.State = "done"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st.State = "cancelled"
+		st.Error = err.Error()
+	default:
+		st.State = "failed"
+		st.Error = err.Error()
+	}
+	if result != nil {
+		st.Result = &resultJSON{Estimate: result.Estimate}
+		if result.Search != nil {
+			sj := &searchJSON{
+				Method:      result.Search.Method,
+				BestVars:    result.Search.Result.BestPoint.SortedVars(),
+				BestValue:   result.Search.Result.BestValue,
+				Evaluations: result.Search.Result.Evaluations,
+				Stop:        string(result.Search.Result.Stop),
+				WallTime:    result.Search.Result.WallTime,
+				Best:        result.Search.Best,
+			}
+			st.Result.Search = sj
+		}
+		if result.Solve != nil {
+			st.Result.Solve = &solveJSON{
+				Vars:           result.Solve.Point.SortedVars(),
+				Processed:      result.Solve.Processed,
+				TotalCost:      result.Solve.TotalCost,
+				CostToFirstSat: result.Solve.CostToFirstSat,
+				FoundSat:       result.Solve.FoundSat,
+				SatIndex:       result.Solve.SatIndex,
+				WallTime:       result.Solve.WallTime,
+				Interrupted:    result.Solve.Interrupted,
+			}
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

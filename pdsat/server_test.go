@@ -1,0 +1,301 @@
+package pdsat_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+	"github.com/paper-repro/pdsat-go/pdsat"
+)
+
+func postJSON(t *testing.T, url string, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		t.Fatalf("POST %s: status %d, body %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEstimateRoundTrip is the acceptance test of the HTTP surface:
+// submit an estimate job over -serve's API, stream its events as NDJSON,
+// fetch the result, and check it is bit-identical to the bare runner path.
+func TestServerEstimateRoundTrip(t *testing.T) {
+	inst := testInstance(t, 48, 40, 3)
+
+	// Reference: the bare runner path with the same fixed seed.
+	r := runner.NewRunner(inst.CNF, runner.Config{
+		SampleSize: 24, Workers: 2, Seed: 1, CostMetric: solver.CostPropagations,
+	})
+	want, err := r.EvaluatePoint(context.Background(), decomp.NewSpace(inst.UnknownStartVars()).FullPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestSession(t, inst, 24)
+	ts := httptest.NewServer(pdsat.NewServer(s))
+	defer ts.Close()
+
+	// Problem metadata.
+	var problem map[string]any
+	getJSON(t, ts.URL+"/v1/problem", &problem)
+	if int(problem["variables"].(float64)) != inst.CNF.NumVars {
+		t.Fatalf("problem metadata: %v", problem)
+	}
+
+	// Submit.
+	created := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"estimate"}`)
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", created)
+	}
+
+	// Stream events (NDJSON): ordered sample progress, one terminal done.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	type line struct {
+		Event string `json:"event"`
+		Data  struct {
+			Job   string `json:"job"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		} `json:"data"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 25 {
+		t.Fatalf("got %d event lines, want 24 sample_progress + 1 done", len(lines))
+	}
+	dones := 0
+	for i, l := range lines {
+		if l.Data.Job != id {
+			t.Fatalf("line %d for job %q, want %q", i, l.Data.Job, id)
+		}
+		switch l.Event {
+		case "sample_progress":
+			if l.Data.Done != i+1 || l.Data.Total != 24 {
+				t.Fatalf("line %d out of order: %+v", i, l)
+			}
+		case "done":
+			dones++
+		default:
+			t.Fatalf("unexpected event %q", l.Event)
+		}
+	}
+	if dones != 1 || lines[len(lines)-1].Event != "done" {
+		t.Fatalf("stream must end with exactly one done event (got %d)", dones)
+	}
+
+	// Fetch the result and compare against the reference, bit for bit.
+	var status struct {
+		State  string `json:"state"`
+		Result *struct {
+			Estimate *pdsat.SetEstimate `json:"estimate"`
+		} `json:"result"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+id, &status)
+	if status.State != "done" || status.Result == nil || status.Result.Estimate == nil {
+		t.Fatalf("status: %+v", status)
+	}
+	if status.Result.Estimate.Estimate != want.Estimate {
+		t.Fatalf("HTTP estimate diverges:\n got  %+v\n want %+v",
+			status.Result.Estimate.Estimate, want.Estimate)
+	}
+
+	// The job list shows the finished job.
+	var list []map[string]any
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list) != 1 || list[0]["id"] != id {
+		t.Fatalf("job list: %v", list)
+	}
+}
+
+func TestServerCancelAndErrors(t *testing.T) {
+	inst := testInstance(t, 48, 40, 3)
+	s := newTestSession(t, inst, 5000)
+	ts := httptest.NewServer(pdsat.NewServer(s))
+	defer ts.Close()
+
+	created := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"estimate"}`)
+	id := created["id"].(string)
+
+	// Cancel it mid-flight; the event stream still terminates with one done.
+	postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", "")
+	deadline := time.Now().Add(60 * time.Second)
+	var status struct {
+		State string `json:"state"`
+	}
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+id, &status)
+		if status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not stop after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status.State != "cancelled" {
+		t.Fatalf("state after cancel: %q", status.State)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(body, []byte(`"event":"done"`)); got != 1 {
+		t.Fatalf("cancelled job stream has %d done events, want 1:\n%s", got, body)
+	}
+
+	// SSE framing.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	sseResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseBody, err := readAll(sseResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sseResp.Header.Get("Content-Type") != "text/event-stream" ||
+		!bytes.Contains(sseBody, []byte("event: done\ndata: ")) {
+		t.Fatalf("bad SSE stream:\n%s", sseBody)
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"POST", "/v1/jobs", `{"kind":"alchemy"}`, http.StatusBadRequest},
+		{"POST", "/v1/jobs", `not json`, http.StatusBadRequest},
+		{"POST", "/v1/jobs", `{"kind":"estimate","vars":[99999]}`, http.StatusBadRequest},
+		{"GET", "/v1/jobs/job-77", "", http.StatusNotFound},
+		{"POST", "/v1/jobs/job-77/cancel", "", http.StatusNotFound},
+		{"DELETE", "/v1/jobs", "", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestServerSolveJob drives a solve job over HTTP end to end.
+func TestServerSolveJob(t *testing.T) {
+	inst := testInstance(t, 54, 40, 9)
+	s := newTestSession(t, inst, 8)
+	ts := httptest.NewServer(pdsat.NewServer(s))
+	defer ts.Close()
+
+	created := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"solve","stop_on_sat":true}`)
+	id := created["id"].(string)
+	// Draining the event stream waits for completion.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAll(resp); err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		State  string `json:"state"`
+		Result *struct {
+			Solve *struct {
+				FoundSat  bool    `json:"found_sat"`
+				SatIndex  int64   `json:"sat_index"`
+				TotalCost float64 `json:"total_cost"`
+			} `json:"solve"`
+		} `json:"result"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+id, &status)
+	if status.State != "done" || status.Result == nil || status.Result.Solve == nil {
+		t.Fatalf("status: %+v", status)
+	}
+	if !status.Result.Solve.FoundSat || status.Result.Solve.SatIndex < 0 {
+		t.Fatalf("solve result: %+v", status.Result.Solve)
+	}
+
+	// Evict the finished job: it disappears from the API.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d", delResp.StatusCode)
+	}
+	gone, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted job still served: status %d", gone.StatusCode)
+	}
+}

@@ -1,0 +1,434 @@
+package pdsat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/montecarlo"
+	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// Config configures a Session.
+type Config struct {
+	// Runner configures the PDSAT-style leader/worker runner (sample size,
+	// workers, cost metric, solver options, optional cluster transport).
+	Runner RunnerConfig
+	// Search configures the metaheuristic minimizers of search jobs.
+	Search SearchOptions
+	// Cores is the number of cores used when extrapolating 1-core
+	// predictions in reports (480 in the paper's Table 3).
+	Cores int
+}
+
+// DefaultConfig returns a configuration suitable for the scaled-down
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Runner: runner.DefaultConfig(),
+		Search: SearchOptions{},
+		Cores:  480,
+	}
+}
+
+// Session runs estimation, search and solving jobs for one Problem on one
+// shared leader/worker runner.  Jobs are submitted with Submit (or the
+// synchronous convenience wrappers, which submit a job and wait for it) and
+// report progress through typed event streams; see Job.
+//
+// A Session is safe for concurrent use.  Concurrent jobs share the runner's
+// cumulative conflict-activity statistics and its evaluation counter, so
+// sample determinism across sessions requires submitting jobs in the same
+// order.
+type Session struct {
+	problem *Problem
+	runner  *runner.Runner
+	cfg     Config
+	space   *decomp.Space
+
+	mu     sync.Mutex
+	jobs   []*Job
+	byID   map[string]*Job
+	nextID int
+	closed bool
+}
+
+// NewSession creates a session for the problem.
+func NewSession(p *Problem, cfg Config) (*Session, error) {
+	if p == nil || p.Formula == nil {
+		return nil, errors.New("pdsat: nil problem")
+	}
+	if len(p.StartSet) == 0 {
+		return nil, errors.New("pdsat: empty starting decomposition set")
+	}
+	if err := cfg.Runner.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Search.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = DefaultConfig().Cores
+	}
+	return &Session{
+		problem: p,
+		runner:  runner.NewRunner(p.Formula, cfg.Runner),
+		cfg:     cfg,
+		space:   decomp.NewSpace(p.StartSet),
+		byID:    make(map[string]*Job),
+	}, nil
+}
+
+// Problem returns the session's problem.
+func (s *Session) Problem() *Problem { return s.problem }
+
+// Space returns the session's search space.
+func (s *Session) Space() *Space { return s.space }
+
+// Runner exposes the underlying PDSAT runner (e.g. for its statistics).
+func (s *Session) Runner() *runner.Runner { return s.runner }
+
+// Config returns the session configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Jobs returns every job submitted to the session, in submission order.
+func (s *Session) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.jobs...)
+}
+
+// Job returns the job with the given ID, if any.
+func (s *Session) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Remove evicts a finished job from the session, releasing its retained
+// event history and result.  Jobs are otherwise kept for the session's
+// lifetime so late subscribers can replay their streams — a long-lived
+// server must Remove (or DELETE over HTTP) jobs it no longer needs, or its
+// memory grows with every job.  Removing a running job is an error: cancel
+// it and wait for its Done first.
+func (s *Session) Remove(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("pdsat: no job %q", id)
+	}
+	if !j.Finished() {
+		return fmt.Errorf("pdsat: job %q is still running (cancel it first)", id)
+	}
+	delete(s.byID, id)
+	for i, other := range s.jobs {
+		if other == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Close cancels every running job and waits for them to finish.  Further
+// Submit calls fail.  Close does not close a caller-provided transport (its
+// creator owns its lifetime).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	jobs := append([]*Job(nil), s.jobs...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	return nil
+}
+
+// PublishWorkerJoined broadcasts a WorkerJoined event to every running
+// job's stream.  Wire it to the cluster leader's OnWorkerJoined hook when
+// the session dispatches to a network transport (cmd/pdsat does).
+func (s *Session) PublishWorkerJoined(worker string, slots int) {
+	for _, j := range s.runningJobs() {
+		j.emit(WorkerJoined{Job: j.id, Worker: worker, Slots: slots})
+	}
+}
+
+// PublishWorkerLost broadcasts a WorkerLost event to every running job's
+// stream; requeued is the number of in-flight subproblems the leader moved
+// onto the remaining workers.
+func (s *Session) PublishWorkerLost(worker string, requeued int) {
+	for _, j := range s.runningJobs() {
+		j.emit(WorkerLost{Job: j.id, Worker: worker, Requeued: requeued})
+	}
+}
+
+func (s *Session) runningJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var running []*Job
+	for _, j := range s.jobs {
+		select {
+		case <-j.Done():
+		default:
+			running = append(running, j)
+		}
+	}
+	return running
+}
+
+// pointFromVars resolves a job spec's variable list: nil or empty means the
+// full start set.
+func (s *Session) pointFromVars(vars []Var) (Point, error) {
+	if len(vars) == 0 {
+		return s.space.FullPoint(), nil
+	}
+	return s.space.PointFromVars(vars)
+}
+
+// SetEstimate describes the predicted cost of processing the partitioning
+// induced by one decomposition set.
+type SetEstimate struct {
+	// Vars is the decomposition set (sorted by variable index).
+	Vars []Var `json:"vars"`
+	// Estimate is the Monte Carlo estimate; Estimate.Value is the 1-core
+	// predictive function value F.
+	Estimate Estimate `json:"estimate"`
+	// PerCores is the extrapolation of the prediction to Cores cores.
+	PerCores float64 `json:"per_cores"`
+	// Cores echoes the core count used for PerCores.
+	Cores int `json:"cores"`
+	// SatisfiableSamples counts satisfiable subproblems in the sample.
+	SatisfiableSamples int `json:"satisfiable_samples"`
+	// WallTime is the time spent computing the estimate.
+	WallTime time.Duration `json:"wall_time_ns"`
+	// Interrupted reports whether the estimation was cancelled before the
+	// full sample was processed; the estimate is then partial (computed
+	// from the subproblems that did complete).
+	Interrupted bool `json:"interrupted"`
+}
+
+// estimateObserved runs one observed predictive-function evaluation for a
+// job (j may be nil for unobserved internal use).
+func (s *Session) estimateObserved(ctx context.Context, p Point, j *Job) (*SetEstimate, error) {
+	pe, err := s.runner.EvaluatePointObserved(ctx, p, sampleObserver(j))
+	if pe == nil {
+		return nil, err
+	}
+	return &SetEstimate{
+		Vars:               p.SortedVars(),
+		Estimate:           pe.Estimate,
+		PerCores:           montecarlo.ExtrapolateCores(pe.Estimate.Value, s.cfg.Cores),
+		Cores:              s.cfg.Cores,
+		SatisfiableSamples: pe.SatisfiableSamples,
+		WallTime:           pe.WallTime,
+		Interrupted:        pe.Interrupted,
+	}, err
+}
+
+// maxSampleEvents bounds the SampleProgress notifications emitted per
+// batch.  Event histories are retained for replay until the job is
+// removed, so an unthrottled 2^30-member solve would pin one event per
+// subproblem in memory for a run advertised to take days; batches larger
+// than this emit evenly spaced notifications instead (satisfiable results
+// and the batch's last result are always reported).  A variable only so
+// tests can exercise the decimation on small batches.
+var maxSampleEvents = 8192
+
+// sampleObserver converts runner progress into the job's SampleProgress
+// events, decimating oversized batches to at most ~maxSampleEvents
+// notifications.
+func sampleObserver(j *Job) func(runner.Progress) {
+	if j == nil {
+		return nil
+	}
+	return func(p runner.Progress) {
+		stride := p.Total / maxSampleEvents
+		sat := p.Result.Status == solver.Sat
+		if stride > 1 && !sat && p.Done != p.Total && p.Done%stride != 0 {
+			return
+		}
+		j.emit(SampleProgress{
+			Job:         j.id,
+			Done:        p.Done,
+			Total:       p.Total,
+			Cost:        p.Result.Cost,
+			Satisfiable: sat,
+			Solved:      p.Result.Started,
+		})
+	}
+}
+
+// EstimatePoint evaluates the predictive function at a point of the search
+// space, through an EstimateJob.  A cancelled estimation returns the
+// partial estimate (marked Interrupted) together with the context's error,
+// so Ctrl-C still yields a report.
+func (s *Session) EstimatePoint(ctx context.Context, p Point) (*SetEstimate, error) {
+	if p.Count() == 0 {
+		return nil, errors.New("pdsat: empty decomposition set")
+	}
+	res, err := s.runToCompletion(ctx, EstimateJob{Vars: p.SortedVars()})
+	if res == nil {
+		return nil, err
+	}
+	return res.Estimate, err
+}
+
+// EstimateSet evaluates the predictive function for an explicit
+// decomposition set (which must be a subset of the start set).
+func (s *Session) EstimateSet(ctx context.Context, vars []Var) (*SetEstimate, error) {
+	if len(vars) == 0 {
+		return nil, errors.New("pdsat: empty decomposition set")
+	}
+	res, err := s.runToCompletion(ctx, EstimateJob{Vars: vars})
+	if res == nil {
+		return nil, err
+	}
+	return res.Estimate, err
+}
+
+// EstimateStartSet evaluates the predictive function at X̃_start itself.
+func (s *Session) EstimateStartSet(ctx context.Context) (*SetEstimate, error) {
+	return s.EstimatePoint(ctx, s.space.FullPoint())
+}
+
+// SearchOutcome is the result of a decomposition-set search.
+type SearchOutcome struct {
+	// Method names the metaheuristic ("simulated annealing" or "tabu search").
+	Method string
+	// Result is the raw optimizer result (best point, trace, stop reason).
+	Result *SearchResult
+	// Best is the estimate of the best point found.
+	Best *SetEstimate
+}
+
+// SearchSimulatedAnnealing searches for a good decomposition set with
+// Algorithm 1, starting from the full start set (as in the paper).
+func (s *Session) SearchSimulatedAnnealing(ctx context.Context) (*SearchOutcome, error) {
+	return s.searchSync(ctx, SearchJob{Method: MethodSimulatedAnnealing})
+}
+
+// SearchTabu searches for a good decomposition set with Algorithm 2,
+// starting from the full start set.
+func (s *Session) SearchTabu(ctx context.Context) (*SearchOutcome, error) {
+	return s.searchSync(ctx, SearchJob{Method: MethodTabu})
+}
+
+// SearchFrom runs the chosen method ("sa" or "tabu") from an explicit start
+// point.
+func (s *Session) SearchFrom(ctx context.Context, method string, start Point) (*SearchOutcome, error) {
+	return s.searchSync(ctx, SearchJob{Method: method, Start: start.SortedVars()})
+}
+
+func (s *Session) searchSync(ctx context.Context, spec SearchJob) (*SearchOutcome, error) {
+	res, err := s.runToCompletion(ctx, spec)
+	if res == nil {
+		return nil, err
+	}
+	return res.Search, err
+}
+
+// SolveWithSet processes the decomposition family induced by the given set
+// and returns the solve report (no prediction).
+func (s *Session) SolveWithSet(ctx context.Context, vars []Var, opts SolveOptions) (*SolveReport, error) {
+	if len(vars) == 0 {
+		return nil, errors.New("pdsat: empty decomposition set")
+	}
+	res, err := s.runToCompletion(ctx, SolveJob{Vars: vars, StopOnSat: opts.StopOnSat, MaxSubproblems: opts.MaxSubproblems})
+	if res == nil {
+		return nil, err
+	}
+	return res.Solve, err
+}
+
+// Comparison relates a prediction with the measured cost of actually
+// processing the decomposition family (one row of Table 3).
+type Comparison struct {
+	// Problem names the instance.
+	Problem string
+	// SetSize is |X̃_best|.
+	SetSize int
+	// Predicted1Core is the predictive function value F (1 CPU core).
+	Predicted1Core float64
+	// PredictedKCores is F divided by Cores.
+	PredictedKCores float64
+	// Cores is the extrapolation core count.
+	Cores int
+	// MeasuredTotal is the measured cost of processing the whole family
+	// (1-core sequential units, same metric as the prediction).
+	MeasuredTotal float64
+	// MeasuredToFirstSat is the measured cost until the first satisfiable
+	// subproblem.
+	MeasuredToFirstSat float64
+	// FoundSat reports whether a satisfiable subproblem (a key) was found.
+	FoundSat bool
+	// KeyValid reports whether the recovered state reproduces the observed
+	// keystream (only meaningful when the problem carries an Instance).
+	KeyValid bool
+	// Deviation is |MeasuredTotal-Predicted1Core| / Predicted1Core.
+	Deviation float64
+	// WallTime is the wall-clock time of the solving run.
+	WallTime time.Duration
+}
+
+// PredictAndSolve estimates the partitioning induced by the decomposition
+// set and then actually processes the whole family (an EstimateJob followed
+// by a SolveJob), returning the prediction-versus-measurement comparison of
+// Table 3.
+func (s *Session) PredictAndSolve(ctx context.Context, vars []Var) (*Comparison, error) {
+	p, err := s.space.PointFromVars(vars)
+	if err != nil {
+		return nil, err
+	}
+	est, err := s.EstimatePoint(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	report, err := s.SolveWithSet(ctx, vars, SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{
+		Problem:            s.problem.Name,
+		SetSize:            p.Count(),
+		Predicted1Core:     est.Estimate.Value,
+		PredictedKCores:    est.PerCores,
+		Cores:              est.Cores,
+		MeasuredTotal:      report.TotalCost,
+		MeasuredToFirstSat: report.CostToFirstSat,
+		FoundSat:           report.FoundSat,
+		Deviation:          montecarlo.RelativeDeviation(est.Estimate.Value, report.TotalCost),
+		WallTime:           report.WallTime,
+	}
+	if report.FoundSat && s.problem.Instance != nil {
+		gen, err := encoder.ByName(s.problem.Instance.Generator)
+		if err == nil {
+			ok, checkErr := s.problem.Instance.CheckRecoveredState(gen, report.Model)
+			cmp.KeyValid = ok && checkErr == nil
+		}
+	}
+	return cmp, nil
+}
+
+// runToCompletion submits a job and waits for its result, propagating the
+// job's error (which for cancelled estimations accompanies a partial
+// result).  A cancelled ctx propagates into the job and makes it finish
+// promptly, so the wait is on the job itself — never racing the caller's
+// context, which would drop the partial result of an interrupted run.
+func (s *Session) runToCompletion(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	j, err := s.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	<-j.Done()
+	return j.Result(context.Background())
+}
