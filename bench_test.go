@@ -22,7 +22,9 @@ import (
 	"github.com/paper-repro/pdsat-go/internal/cnfgen"
 	"github.com/paper-repro/pdsat-go/internal/decomp"
 	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/eval"
 	"github.com/paper-repro/pdsat-go/internal/expts"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
 	"github.com/paper-repro/pdsat-go/internal/pdsat"
 	"github.com/paper-repro/pdsat-go/internal/solver"
 )
@@ -256,6 +258,56 @@ func BenchmarkPortfolioVsPartitioning(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + res.TablePortfolio().String())
 		}
+	}
+}
+
+// BenchmarkEvalPolicyBiviumTabu measures the budget-aware evaluation
+// engine (PR 4) on a Table-2-style weakened-Bivium tabu search: the same
+// fixed-seed search once with the zero policy (every evaluation solves the
+// full sample, the pre-engine behaviour) and once with the default policy
+// (incumbent pruning + staged adaptive sampling + F-cache).  The headline
+// metrics are the solved-subproblem counts per search and the reduction;
+// the acceptance bar is a ≥30% reduction at equal best F, which the
+// benchmark enforces.
+func BenchmarkEvalPolicyBiviumTabu(b *testing.B) {
+	inst, err := encoder.NewInstance(encoder.Bivium(), encoder.Config{
+		KeystreamLen: 200,
+		KnownSuffix:  160,
+		Seed:         7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	run := func(pol eval.Policy) (float64, int) {
+		r := pdsat.NewRunner(inst.CNF, pdsat.Config{
+			SampleSize: 30,
+			Seed:       3,
+			CostMetric: solver.CostPropagations,
+			Policy:     pol,
+		})
+		res, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(),
+			optimize.Options{Seed: 5, MaxEvaluations: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.BestValue, r.SubproblemsSolved()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bestOff, solvedOff := run(eval.Policy{})
+		bestOn, solvedOn := run(eval.DefaultPolicy())
+		if bestOn != bestOff {
+			b.Fatalf("best F differs with the default policy: %v vs %v", bestOn, bestOff)
+		}
+		reduction := 100 * (1 - float64(solvedOn)/float64(solvedOff))
+		if reduction < 30 {
+			b.Fatalf("default policy saved only %.1f%% of subproblems (acceptance bar: 30%%)", reduction)
+		}
+		b.ReportMetric(float64(solvedOff), "subproblems_policy_off")
+		b.ReportMetric(float64(solvedOn), "subproblems_policy_on")
+		b.ReportMetric(reduction, "subproblem_reduction_%")
+		b.ReportMetric(bestOn, "bestF")
 	}
 }
 

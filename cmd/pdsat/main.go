@@ -66,6 +66,11 @@ func run() error {
 		cores      = flag.Int("cores", 480, "core count for extrapolated predictions")
 		metric     = flag.String("cost", "propagations", "cost metric: conflicts, propagations, decisions or seconds")
 		budget     = flag.Uint64("subproblem-conflicts", 0, "conflict budget per sampled subproblem (0 = unlimited)")
+		evalPolicy = flag.String("eval-policy", "off", "budget-aware evaluation policy: off (full-sample, bit-identical to the classic pipeline) or default (pruning + staged sampling + F-cache)")
+		prune      = flag.Bool("prune", false, "abort evaluations whose partial lower bound exceeds the search incumbent (overrides -eval-policy)")
+		stages     = flag.Int("stages", 0, "split each sample into this many geometric stages with an early-stop check between them (0/1 = unstaged; overrides -eval-policy)")
+		stageEps   = flag.Float64("stage-epsilon", 0, "staged early-stop target: stop once the eq.-3 confidence half-width is below this fraction of the mean (0 = no early stop; overrides -eval-policy)")
+		fcache     = flag.Bool("fcache", false, "memoize F values by decomposition set across searches and jobs (overrides -eval-policy)")
 		stopOnSat  = flag.Bool("stop-on-sat", true, "in solve mode, stop at the first satisfiable subproblem")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
 		listen     = flag.String("listen", "", "act as cluster leader: listen for remote workers on this address and dispatch all subproblems to them")
@@ -95,6 +100,22 @@ func run() error {
 		return err
 	}
 
+	// Flags explicitly set on the command line override the -eval-policy
+	// preset in both directions (e.g. -eval-policy default -prune=false
+	// disables only the pruning).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	policy, err := buildPolicy(*evalPolicy, policyFlags{
+		prune:    *prune,
+		stages:   *stages,
+		epsilon:  *stageEps,
+		cache:    *fcache,
+		explicit: explicit,
+	})
+	if err != nil {
+		return err
+	}
+
 	cfg := pdsat.Config{
 		Runner: pdsat.RunnerConfig{
 			SampleSize:       *samples,
@@ -103,6 +124,7 @@ func run() error {
 			CostMetric:       costMetric,
 			SolverOptions:    solver.DefaultOptions(),
 			SubproblemBudget: solver.Budget{MaxConflicts: *budget},
+			Policy:           policy,
 		},
 		Search: pdsat.SearchOptions{Seed: *seed, MaxEvaluations: *evals},
 		Cores:  *cores,
@@ -156,6 +178,10 @@ func run() error {
 
 	fmt.Printf("instance %s: %d variables, %d clauses, start set of %d variables\n",
 		problem.Name, problem.Formula.NumVars, problem.Formula.NumClauses(), len(problem.StartSet))
+	if policy.Enabled() {
+		fmt.Printf("evaluation policy: prune=%v stages=%d epsilon=%g gamma=%g fcache=%v\n",
+			policy.Prune, policy.Stages, policy.Epsilon, policy.EffectiveGamma(), policy.Cache)
+	}
 
 	if *serve != "" {
 		return runServe(ctx, session, *serve)
@@ -217,6 +243,46 @@ func runWorker(ctx context.Context, addr string, workers int) error {
 
 func logToStderr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// policyFlags carries the fine-grained evaluation-policy flag values plus
+// the set of flag names the user explicitly passed, so an explicit
+// -prune=false or -stages 0 can switch a preset mechanism *off* (a flag
+// left at its default changes nothing).
+type policyFlags struct {
+	prune    bool
+	stages   int
+	epsilon  float64
+	cache    bool
+	explicit map[string]bool
+}
+
+// buildPolicy combines the -eval-policy preset with the fine-grained
+// override flags into the evaluation policy used by the session.
+func buildPolicy(preset string, f policyFlags) (pdsat.EvalPolicy, error) {
+	var policy pdsat.EvalPolicy
+	switch preset {
+	case "", "off":
+		// The zero policy: full-sample evaluations, no memoization —
+		// bit-identical to the classic pipeline.
+	case "default":
+		policy = pdsat.DefaultEvalPolicy()
+	default:
+		return policy, fmt.Errorf("unknown -eval-policy %q (want off or default)", preset)
+	}
+	if f.explicit["prune"] {
+		policy.Prune = f.prune
+	}
+	if f.explicit["stages"] {
+		policy.Stages = f.stages
+	}
+	if f.explicit["stage-epsilon"] {
+		policy.Epsilon = f.epsilon
+	}
+	if f.explicit["fcache"] {
+		policy.Cache = f.cache
+	}
+	return policy, policy.Validate()
 }
 
 func buildProblem(cnfPath, startList, generator string, keystream, known int, seed int64) (*pdsat.Problem, error) {
@@ -284,6 +350,11 @@ func runSearch(ctx context.Context, session *pdsat.Session, method string, metri
 			label = "best-set estimate (partial, interrupted)"
 		}
 		printEstimate(label, outcome.Best, metric)
+	}
+	if stats := session.Stats(); stats.PrunedEvaluations > 0 || stats.Cache.Hits+stats.Cache.Misses > 0 {
+		fmt.Printf("evaluation engine   %d evaluations (%d pruned), %d subproblems solved, %d aborted, F-cache %d/%d hits\n",
+			stats.Evaluations, stats.PrunedEvaluations, stats.SubproblemsSolved, stats.SubproblemsAborted,
+			stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses)
 	}
 	return nil
 }

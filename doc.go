@@ -28,6 +28,11 @@
 //   - decomp, montecarlo, optimize: decomposition families, the predictive
 //     function and its confidence intervals, simulated annealing and tabu
 //     search
+//   - eval: the budget-aware evaluation engine — incumbent pruning of
+//     hopeless candidates, staged adaptive sampling sized by the eq.-3
+//     confidence interval, and the cross-search F-memoization cache
+//     (policies are set via pdsat.EvalPolicy; the zero policy reproduces
+//     full-sample evaluations bit for bit)
 //   - cluster: worker transports for the leader/worker architecture — an
 //     in-process goroutine pool with persistent solvers, and a TCP/gob
 //     network backend (worker registration, heartbeats, batched task

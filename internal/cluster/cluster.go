@@ -153,6 +153,29 @@ type ObservedTransport interface {
 	RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error)
 }
 
+// AbortableTransport is implemented by transports that support a
+// caller-initiated mid-batch abort, the mechanism behind the evaluation
+// engine's incumbent pruning: when the abort channel fires (is closed or
+// sent to), the transport cancels the remainder of the batch — in-flight
+// solves receive the solver's non-blocking interrupt and report truncated
+// results marked Cancelled, tasks no solver has seen yet become placeholder
+// results with Started == false — while the transport itself stays fully
+// usable: the network leader keeps its workers connected (it cancels only
+// the batch, via a kindAbort message), and the in-process backend keeps its
+// solver pool.
+//
+// Unlike a context cancellation, an abort is a planned outcome: the call
+// still returns one result per task and a nil error (unless ctx was also
+// cancelled, which takes precedence).  Both built-in backends implement it;
+// callers fall back to stage-boundary pruning when a transport does not.
+type AbortableTransport interface {
+	ObservedTransport
+	// RunAbortable behaves exactly like RunObserved but additionally
+	// abandons the remainder of the batch when abort fires.  A nil abort
+	// channel makes it identical to RunObserved.
+	RunAbortable(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, error)
+}
+
 // checkBatch validates the index contract shared by every backend.
 func checkBatch(tasks []Task) error {
 	seen := make([]bool, len(tasks))

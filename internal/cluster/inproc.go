@@ -104,6 +104,15 @@ func (t *Inproc) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]Ta
 // every result from the collection loop the moment it is gathered, in the
 // same order as the returned slice.
 func (t *Inproc) RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error) {
+	return t.RunAbortable(ctx, tasks, opts, observe, nil)
+}
+
+// RunAbortable implements AbortableTransport: when abort fires, the batch's
+// in-flight solves are interrupted (their truncated results are marked
+// Cancelled) and queued tasks drain as placeholders, but — unlike a context
+// cancellation — the call returns the full result set with a nil error and
+// the transport (solver pool included) stays usable for the next batch.
+func (t *Inproc) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, error) {
 	if err := checkBatch(tasks); err != nil {
 		return nil, err
 	}
@@ -121,6 +130,20 @@ func (t *Inproc) RunObserved(ctx context.Context, tasks []Task, opts BatchOption
 	resCh := make(chan TaskResult, len(tasks))
 	innerCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if abort != nil {
+		// The abort cancels only innerCtx — the batch — never ctx, so the
+		// "was this a planned abort or a real cancellation" distinction at
+		// the end of the collection loop stays a plain ctx.Err() check.
+		batchDone := make(chan struct{})
+		defer close(batchDone)
+		go func() {
+			select {
+			case <-abort:
+				cancel()
+			case <-batchDone:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

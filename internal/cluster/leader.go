@@ -391,6 +391,21 @@ func wakeLocked(b *netBatch) {
 // broadcastInterrupt tells every worker to abandon the batch.  This is the
 // leader's non-blocking interrupt: workers poll for it mid-search.
 func (l *Leader) broadcastInterrupt(batchID uint64) {
+	l.broadcast(&envelope{Kind: kindInterrupt, Batch: batchID})
+}
+
+// broadcastAbort tells every worker to abandon the batch as a planned
+// pruning abort.  On the worker the effect is identical to an interrupt
+// (only the batch dies; connection and solver pool survive); the distinct
+// message kind records intent on the wire and is what protocol version 2
+// adds.
+func (l *Leader) broadcastAbort(batchID uint64) {
+	l.broadcast(&envelope{Kind: kindAbort, Batch: batchID})
+}
+
+// broadcast sends one envelope to every registered worker, dropping workers
+// whose connection fails.
+func (l *Leader) broadcast(env *envelope) {
 	l.mu.Lock()
 	ws := make([]*remoteWorker, 0, len(l.workers))
 	for _, rw := range l.workers {
@@ -398,7 +413,7 @@ func (l *Leader) broadcastInterrupt(batchID uint64) {
 	}
 	l.mu.Unlock()
 	for _, rw := range ws {
-		if err := rw.w.send(&envelope{Kind: kindInterrupt, Batch: batchID}); err != nil {
+		if err := rw.w.send(env); err != nil {
 			l.dropWorker(rw, err)
 		}
 	}
@@ -457,6 +472,17 @@ func (l *Leader) Run(ctx context.Context, tasks []Task, opts BatchOptions) ([]Ta
 // every collected result from the batch loop's goroutine as workers deliver
 // them, in the same order as the returned slice.
 func (l *Leader) RunObserved(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult)) ([]TaskResult, error) {
+	return l.RunAbortable(ctx, tasks, opts, observe, nil)
+}
+
+// RunAbortable implements AbortableTransport: when abort fires, the leader
+// converts the batch's unassigned tasks into placeholders and broadcasts a
+// kindAbort to the workers — cancelling only this batch's in-flight solves,
+// never the worker connections — then keeps collecting until every task has
+// answered.  The call returns the full result set with a nil error; a
+// context cancellation racing the abort takes precedence and is reported as
+// usual.
+func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, error) {
 	if err := checkBatch(tasks); err != nil {
 		return nil, err
 	}
@@ -526,6 +552,20 @@ func (l *Leader) RunObserved(ctx context.Context, tasks []Task, opts BatchOption
 		select {
 		case <-b.wake:
 		case <-ticker.C:
+		case <-abort:
+			// Planned pruning abort: like a cancellation, but scoped to the
+			// batch (workers stay registered) and reported as a normal
+			// outcome rather than an error.
+			abort = nil
+			l.mu.Lock()
+			broadcast := !b.cancelled
+			if broadcast {
+				cancelLocked(b)
+			}
+			l.mu.Unlock()
+			if broadcast {
+				l.broadcastAbort(b.id)
+			}
 		case <-ctxDone:
 			// First cancellation notice: convert unassigned tasks into
 			// placeholders and interrupt the workers, then keep collecting

@@ -14,7 +14,14 @@ import (
 // protocolVersion guards against mixing incompatible leader and worker
 // binaries; bump it whenever the envelope or the solver result layout
 // changes incompatibly.
-const protocolVersion = 1
+//
+// Version history:
+//
+//	1  initial leader/worker protocol
+//	2  kindAbort (per-batch evaluation abort for incumbent pruning); a v1
+//	   worker would silently keep solving an aborted batch's tasks, so the
+//	   mismatch is rejected at registration
+const protocolVersion = 2
 
 // Wire timeouts shared by both sides.
 const (
@@ -51,6 +58,13 @@ const (
 	kindPong
 	// kindStop shuts a worker down for good (leader closing).
 	kindStop
+	// kindAbort abandons one batch exactly like kindInterrupt — in-flight
+	// solves are interrupted, queued tasks drained as placeholders — but
+	// marks a *planned* early end rather than a failure: the evaluation
+	// engine aborts the remainder of a candidate's sample once its partial
+	// lower bound exceeds the search incumbent.  The worker keeps its
+	// connection and pooled solvers; only the batch dies.
+	kindAbort
 )
 
 // envelope is the single gob-encoded message type exchanged on a cluster

@@ -209,3 +209,258 @@ func TestBatchIndexValidation(t *testing.T) {
 		t.Fatal("expected an error for duplicate task indices")
 	}
 }
+
+// abortingWorker speaks the wire protocol far enough to register, take a
+// chunk of tasks and then hold them silently (answering pings) until it is
+// told to die.  It reports the abort notification it receives, so the test
+// can order "leader aborted the batch" strictly before "worker vanished".
+func abortingWorker(t *testing.T, addr string, capacity int, gotTasks chan<- int, sawAbort chan<- uint64, die <-chan struct{}) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		t.Errorf("aborting worker dial: %v", err)
+		close(gotTasks)
+		return
+	}
+	w := newWire(conn)
+	defer w.close()
+	if err := w.send(helloFor("holder", capacity)); err != nil {
+		t.Errorf("aborting worker hello: %v", err)
+		close(gotTasks)
+		return
+	}
+	if _, err := w.recv(handshakeTimeout); err != nil { // welcome
+		t.Errorf("aborting worker welcome: %v", err)
+		close(gotTasks)
+		return
+	}
+	reported := false
+	for {
+		select {
+		case <-die:
+			return // vanish without answering anything
+		default:
+		}
+		env, err := w.recv(500 * time.Millisecond)
+		if err != nil {
+			continue // read timeout: poll the die channel again
+		}
+		switch env.Kind {
+		case kindPing:
+			w.send(&envelope{Kind: kindPong})
+		case kindTasks:
+			if !reported {
+				reported = true
+				gotTasks <- len(env.Tasks)
+				close(gotTasks)
+			}
+		case kindAbort:
+			sawAbort <- env.Batch
+		}
+	}
+}
+
+// TestAbortedBatchWorkerLossDoesNotResurrectTasks is the non-blocking
+// batch-abort requeue test: when a worker holding an aborted batch's tasks
+// is lost, the leader must *not* requeue those tasks onto the remaining
+// workers — the abort already converted the batch's outcome to
+// placeholders, and resurrecting the tasks would solve subproblems the
+// evaluation engine has proven worthless.
+func TestAbortedBatchWorkerLossDoesNotResurrectTasks(t *testing.T) {
+	f := requeueFormula()
+	type lost struct {
+		name     string
+		requeued int
+	}
+	lostCh := make(chan lost, 4)
+	leader, err := Listen("127.0.0.1:0", f, LeaderOptions{
+		Heartbeat: 100 * time.Millisecond,
+		Logf:      t.Logf,
+		OnWorkerLost: func(name string, requeued int) {
+			lostCh <- lost{name, requeued}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	addr := leader.Addr().String()
+
+	// The holder registers with enough capacity to be handed every task
+	// (the leader assigns up to 2× capacity), takes the batch and sits on
+	// it.
+	gotTasks := make(chan int, 1)
+	sawAbort := make(chan uint64, 1)
+	die := make(chan struct{})
+	go abortingWorker(t, addr, 8, gotTasks, sawAbort, die)
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	if err := leader.WaitForWorkers(waitCtx, 1); err != nil {
+		t.Fatalf("holder did not register: %v", err)
+	}
+
+	// A survivor with spare capacity is present the whole time: if the
+	// leader wrongly requeued the aborted tasks, it would solve them.
+	survivorCtx, survivorCancel := context.WithCancel(context.Background())
+	defer survivorCancel()
+	go func() {
+		_ = Serve(survivorCtx, addr, WorkerOptions{Capacity: 2, Name: "survivor", Logf: t.Logf})
+	}()
+	if err := leader.WaitForWorkers(waitCtx, 2); err != nil {
+		t.Fatalf("survivor did not register: %v", err)
+	}
+
+	tasks := requeueTasks(16)
+	abort := make(chan struct{})
+	type runOutcome struct {
+		results []TaskResult
+		err     error
+	}
+	done := make(chan runOutcome, 1)
+	runCtx, runCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer runCancel()
+	go func() {
+		res, err := leader.RunAbortable(runCtx, tasks, BatchOptions{CostMetric: solver.CostPropagations}, nil, abort)
+		done <- runOutcome{res, err}
+	}()
+
+	// Wait for the holder to own tasks, then abort the batch and wait for
+	// the abort to reach the holder before killing it, so the worker loss
+	// strictly follows the abort.
+	if n, ok := <-gotTasks; ok && n == 0 {
+		t.Fatal("holder received an empty chunk")
+	}
+	close(abort)
+	select {
+	case <-sawAbort:
+	case <-time.After(10 * time.Second):
+		t.Fatal("holder never received the batch abort")
+	}
+	close(die)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("aborted Run returned error: %v", out.err)
+	}
+	if len(out.results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(out.results), len(tasks))
+	}
+	solved := 0
+	seen := make([]bool, len(tasks))
+	for _, res := range out.results {
+		if seen[res.Index] {
+			t.Fatalf("duplicate result for task %d", res.Index)
+		}
+		seen[res.Index] = true
+		if res.Started && !res.Cancelled {
+			solved++
+		}
+	}
+	// The holder answered nothing and its loss happened after the abort:
+	// every one of its tasks must come back as a placeholder or truncated
+	// result, none solved by the survivor.
+	if solved != 0 {
+		t.Fatalf("%d task(s) of the aborted batch were resurrected and solved", solved)
+	}
+	// The holder's loss must have requeued nothing.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case l := <-lostCh:
+			if l.name == "holder" {
+				if l.requeued != 0 {
+					t.Fatalf("worker loss during the aborted batch requeued %d task(s)", l.requeued)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("leader never reported the holder as lost")
+		}
+	}
+}
+
+// TestInprocAbort checks the in-process batch abort: a pre-fired abort
+// channel yields one result per task with a nil error (a planned outcome,
+// not a cancellation), nothing solved to completion, and leaves the
+// transport and its solver pool fully usable for the next batch.
+func TestInprocAbort(t *testing.T) {
+	f := requeueFormula()
+	tr := NewInproc(f, 2, solver.DefaultOptions())
+	tasks := requeueTasks(8)
+
+	abort := make(chan struct{})
+	close(abort)
+	results, err := tr.RunAbortable(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations}, nil, abort)
+	if err != nil {
+		t.Fatalf("aborted batch returned error: %v", err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(results), len(tasks))
+	}
+	for _, res := range results {
+		if res.Started && !res.Cancelled {
+			t.Fatalf("task %d was solved to completion despite the abort", res.Index)
+		}
+	}
+
+	// The transport must still run normal batches, bit-identical to a
+	// fresh one.
+	after, err := tr.Run(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewInproc(f, 2, solver.DefaultOptions()).Run(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIdx := func(rs []TaskResult) map[int]TaskResult {
+		m := make(map[int]TaskResult, len(rs))
+		for _, r := range rs {
+			m[r.Index] = r
+		}
+		return m
+	}
+	wa, wb := byIdx(after), byIdx(want)
+	for i := range wa {
+		if wa[i].Cost != wb[i].Cost || wa[i].Status != wb[i].Status {
+			t.Fatalf("post-abort batch differs at task %d: %+v vs %+v", i, wa[i], wb[i])
+		}
+	}
+}
+
+// TestInprocAbortMidBatch aborts from the observe callback after half the
+// results arrived: the collected prefix must be real solves and the batch
+// must still account for every task.
+func TestInprocAbortMidBatch(t *testing.T) {
+	f := requeueFormula()
+	tr := NewInproc(f, 2, solver.DefaultOptions())
+	tasks := requeueTasks(16)
+
+	abort := make(chan struct{})
+	collected := 0
+	results, err := tr.RunAbortable(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations},
+		func(res TaskResult) {
+			collected++
+			if collected == 4 {
+				close(abort)
+			}
+		}, abort)
+	if err != nil {
+		t.Fatalf("aborted batch returned error: %v", err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(results), len(tasks))
+	}
+	full := 0
+	for _, res := range results {
+		if res.Started && !res.Cancelled {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("no task finished before the abort")
+	}
+	if full == len(tasks) {
+		t.Fatal("abort did not cut the batch short")
+	}
+}

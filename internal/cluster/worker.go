@@ -178,7 +178,11 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 				batch = newWorkerBatch(env.Batch, *env.Opts, exec, w)
 			}
 			batch.q.push(env.Tasks)
-		case kindInterrupt:
+		case kindInterrupt, kindAbort:
+			// kindAbort is the evaluation engine's planned per-batch abort
+			// (incumbent pruning); on the worker it is handled exactly like
+			// an interrupt — only the batch dies, the connection and the
+			// pooled solvers survive.
 			if env.Batch > interrupted {
 				interrupted = env.Batch
 			}

@@ -137,14 +137,30 @@ func (e Estimate) ConfidenceInterval(gamma float64) (Interval, error) {
 		return Interval{}, fmt.Errorf("montecarlo: confidence level %v outside (0,1)", gamma)
 	}
 	// eq. (3): the half-width for the mean is δ_γ·σ/√N with γ = Φ(δ_γ).
-	// For a two-sided interval at level γ the quantile is Φ⁻¹((1+γ)/2).
-	delta := NormalQuantile((1 + gamma) / 2)
-	half := delta * e.StdDev / math.Sqrt(float64(e.SampleSize))
+	half := ConfidenceHalfWidth(e.StdDev, e.SampleSize, gamma)
 	scale := math.Exp2(float64(e.Dimension))
 	return Interval{
 		Lo: scale * (e.Mean - half),
 		Hi: scale * (e.Mean + half),
 	}, nil
+}
+
+// ConfidenceHalfWidth returns δ_γ·σ/√n, the half-width of the eq.-3 CLT
+// confidence interval for the sample mean at two-sided confidence level
+// gamma (γ = Φ(δ_γ), so the two-sided quantile is Φ⁻¹((1+γ)/2)).  It is the
+// quantity the staged-sampling early stop of the evaluation engine compares
+// against ε·mean.  Degenerate inputs follow the statistics: a zero standard
+// deviation yields a zero half-width (the sample carries no spread), a
+// sample of fewer than one observation carries no information and yields
+// +Inf, and a confidence level outside (0,1) yields NaN.
+func ConfidenceHalfWidth(stddev float64, n int, gamma float64) float64 {
+	if gamma <= 0 || gamma >= 1 {
+		return math.NaN()
+	}
+	if n < 1 {
+		return math.Inf(1)
+	}
+	return NormalQuantile((1+gamma)/2) * stddev / math.Sqrt(float64(n))
 }
 
 // Interval is a closed real interval.

@@ -306,3 +306,82 @@ func TestEstimateScaleInvarianceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestConfidenceHalfWidth pins the eq.-3 half-width δ_γ·σ/√N at the two
+// confidence levels the paper's tables use.  At γ=0.95 the two-sided
+// quantile is Φ⁻¹(0.975) ≈ 1.959964, at γ=0.99 it is Φ⁻¹(0.995) ≈ 2.575829.
+func TestConfidenceHalfWidth(t *testing.T) {
+	cases := []struct {
+		stddev float64
+		n      int
+		gamma  float64
+		want   float64
+	}{
+		{1, 1, 0.95, 1.9599640},
+		{1, 100, 0.95, 0.19599640},
+		{2, 25, 0.95, 0.78398559},
+		{1, 1, 0.99, 2.5758293},
+		{1, 100, 0.99, 0.25758293},
+		{3, 9, 0.99, 2.5758293},
+	}
+	for _, c := range cases {
+		got := ConfidenceHalfWidth(c.stddev, c.n, c.gamma)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("ConfidenceHalfWidth(%v, %d, %v) = %v, want %v",
+				c.stddev, c.n, c.gamma, got, c.want)
+		}
+	}
+}
+
+// TestConfidenceHalfWidthMatchesInterval cross-checks the helper against
+// Estimate.ConfidenceInterval: the interval's width is 2·2^d·halfwidth.
+func TestConfidenceHalfWidthMatchesInterval(t *testing.T) {
+	s := NewSample([]float64{3, 7, 4, 9, 1, 6, 2, 8})
+	e := NewEstimate(5, s)
+	for _, gamma := range []float64{0.95, 0.99} {
+		iv, err := e.ConfidenceInterval(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * math.Exp2(5) * ConfidenceHalfWidth(e.StdDev, e.SampleSize, gamma)
+		if math.Abs(iv.Width()-want) > 1e-9*want {
+			t.Errorf("γ=%v: interval width %v, want %v", gamma, iv.Width(), want)
+		}
+	}
+}
+
+// TestConfidenceHalfWidthDegenerate covers the degenerate inputs the staged
+// early stop must handle: σ=0 (constant sample) has zero width at any level
+// and size, N=1 has no variance information (σ computed as 0 upstream, but
+// the helper itself still scales an explicit σ by √1), N≤0 carries no
+// information, and confidence levels outside (0,1) are undefined.
+func TestConfidenceHalfWidthDegenerate(t *testing.T) {
+	if got := ConfidenceHalfWidth(0, 50, 0.95); got != 0 {
+		t.Errorf("σ=0: half-width %v, want 0", got)
+	}
+	if got := ConfidenceHalfWidth(0, 1, 0.99); got != 0 {
+		t.Errorf("σ=0, N=1: half-width %v, want 0", got)
+	}
+	// N=1 with a nonzero σ: the half-width equals the full quantile·σ.
+	if got, want := ConfidenceHalfWidth(2, 1, 0.95), 2*NormalQuantile(0.975); math.Abs(got-want) > 1e-9 {
+		t.Errorf("N=1: half-width %v, want %v", got, want)
+	}
+	if got := ConfidenceHalfWidth(1, 0, 0.95); !math.IsInf(got, 1) {
+		t.Errorf("N=0: half-width %v, want +Inf", got)
+	}
+	if got := ConfidenceHalfWidth(1, -3, 0.95); !math.IsInf(got, 1) {
+		t.Errorf("N<0: half-width %v, want +Inf", got)
+	}
+	for _, gamma := range []float64{0, 1, -0.5, 1.5} {
+		if got := ConfidenceHalfWidth(1, 10, gamma); !math.IsNaN(got) {
+			t.Errorf("γ=%v: half-width %v, want NaN", gamma, got)
+		}
+	}
+	// A singleton Sample reports σ=0 (variance needs two observations), so
+	// the end-to-end early-stop quantity is 0 — which is why the engine
+	// additionally requires n ≥ 2 before trusting the criterion.
+	single := NewSample([]float64{7})
+	if got := ConfidenceHalfWidth(single.StdDev(), single.Len(), 0.95); got != 0 {
+		t.Errorf("singleton sample: half-width %v, want 0", got)
+	}
+}

@@ -23,10 +23,19 @@ import (
 
 	"github.com/paper-repro/pdsat-go/internal/cnf"
 	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/eval"
 )
 
 // Objective computes the predictive function value at a point of the search
 // space.  Implementations are typically backed by a pdsat.Runner.
+//
+// Objectives that additionally implement eval.Evaluator get the searches'
+// incumbent — the best F value certified so far — threaded into every
+// evaluation, enabling the evaluation engine's incumbent pruning: a pruned
+// evaluation returns a certified lower bound above the incumbent instead of
+// paying for the full sample, and the searches treat such points as "worse
+// than best" (recorded with Visit.Pruned set).  Objectives without the
+// interface are evaluated exactly as before.
 type Objective interface {
 	Evaluate(ctx context.Context, p decomp.Point) (float64, error)
 }
@@ -170,12 +179,16 @@ type Visit struct {
 	Index int
 	// Point is the evaluated point.
 	Point decomp.Point
-	// Value is F(point).
+	// Value is F(point), or a certified lower bound on it when Pruned.
 	Value float64
 	// Accepted reports whether the point became the new centre.
 	Accepted bool
 	// Improved reports whether the point improved the best known value.
 	Improved bool
+	// Pruned reports that the evaluation was aborted by incumbent pruning:
+	// Value is a lower bound proving the point worse than the best value
+	// at evaluation time, not a full Monte Carlo estimate.
+	Pruned bool
 }
 
 // Result is the outcome of a minimization run.
@@ -202,55 +215,87 @@ func (r *Result) String() string {
 
 // search bundles state shared by both algorithms.
 type search struct {
-	obj     Objective
-	opts    Options
-	rng     *rand.Rand
-	start   time.Time
-	values  map[string]float64
-	points  map[string]decomp.Point
-	evals   int
-	trace   []Visit
-	stopped StopReason
+	obj Objective
+	// ev is the budget-aware view of the objective, set when obj implements
+	// eval.Evaluator; the searches then thread their incumbent into every
+	// evaluation.
+	ev     eval.Evaluator
+	opts   Options
+	rng    *rand.Rand
+	start  time.Time
+	values map[string]float64
+	// prunedPts marks points whose cached value is a pruned lower bound
+	// rather than a full estimate.
+	prunedPts map[string]bool
+	points    map[string]decomp.Point
+	evals     int
+	trace     []Visit
+	stopped   StopReason
 }
 
 func newSearch(obj Objective, opts Options) *search {
-	return &search{
-		obj:    obj,
-		opts:   opts,
-		rng:    rand.New(rand.NewSource(opts.Seed)),
-		start:  time.Now(),
-		values: make(map[string]float64),
-		points: make(map[string]decomp.Point),
+	s := &search{
+		obj:       obj,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		start:     time.Now(),
+		values:    make(map[string]float64),
+		prunedPts: make(map[string]bool),
+		points:    make(map[string]decomp.Point),
 	}
+	if ev, ok := obj.(eval.Evaluator); ok {
+		s.ev = ev
+	}
+	return s
 }
 
 var errStop = errors.New("optimize: stop")
 
-// evaluate returns F(p), consulting the cache first.  The second result
-// reports whether a fresh objective evaluation was performed.
-func (s *search) evaluate(ctx context.Context, p decomp.Point) (float64, bool, error) {
+// evaluate returns F(p), consulting the search's value cache first.  fresh
+// reports whether an objective evaluation was actually performed; pruned
+// that the value is a certified lower bound from an incumbent-pruned
+// evaluation (only possible when the objective implements eval.Evaluator
+// and the incumbent is finite).  A pruned value exceeds the incumbent it
+// was pruned against, and incumbents (best values) only decrease during a
+// search, so a cached pruned bound keeps proving its point worse for the
+// rest of the run.
+func (s *search) evaluate(ctx context.Context, p decomp.Point, incumbent float64) (float64, bool, bool, error) {
 	key := p.Key()
 	if v, ok := s.values[key]; ok {
-		return v, false, nil
+		return v, false, s.prunedPts[key], nil
 	}
 	if err := s.checkBudgets(ctx); err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
-	v, err := s.obj.Evaluate(ctx, p)
+	var v float64
+	var pruned bool
+	var err error
+	if s.ev != nil {
+		var evn *eval.Evaluation
+		evn, err = s.ev.EvaluateF(ctx, p, incumbent)
+		if err == nil {
+			v, pruned = evn.Value, evn.Pruned
+		}
+	} else {
+		v, err = s.obj.Evaluate(ctx, p)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			// The objective was interrupted by a cancellation that raced
 			// past the checkBudgets call above; end the search gracefully
 			// (best-so-far result, StopContext) instead of failing it.
 			s.stopped = StopContext
-			return 0, false, errStop
+			return 0, false, false, errStop
 		}
-		return 0, false, err
+		return 0, false, false, err
 	}
 	s.values[key] = v
+	if pruned {
+		s.prunedPts[key] = true
+	}
 	s.points[key] = p
 	s.evals++
-	return v, true, nil
+	return v, true, pruned, nil
 }
 
 // checkBudgets returns errStop (after recording the reason) if a budget is
@@ -271,13 +316,14 @@ func (s *search) checkBudgets(ctx context.Context) error {
 	return nil
 }
 
-func (s *search) record(p decomp.Point, value float64, accepted, improved bool) {
+func (s *search) record(p decomp.Point, value float64, accepted, improved, pruned bool) {
 	v := Visit{
 		Index:    len(s.trace),
 		Point:    p,
 		Value:    value,
 		Accepted: accepted,
 		Improved: improved,
+		Pruned:   pruned,
 	}
 	s.trace = append(s.trace, v)
 	if s.opts.Observer != nil {
@@ -326,14 +372,14 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 	opts = opts.withDefaults()
 	s := newSearch(obj, opts)
 
-	centerValue, _, err := s.evaluate(ctx, start)
+	centerValue, _, _, err := s.evaluate(ctx, start, math.Inf(1))
 	if err != nil {
 		if errors.Is(err, errStop) {
 			return s.result(start, math.Inf(1)), nil
 		}
 		return nil, err
 	}
-	s.record(start, centerValue, true, true)
+	s.record(start, centerValue, true, true, false)
 	center, best, bestValue := start, start, centerValue
 
 	temperature := opts.InitialTemperature
@@ -368,7 +414,13 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 				s.stopped = StopNoImprovment
 				return s.result(best, bestValue), nil
 			}
-			value, _, err := s.evaluate(ctx, chi)
+			// The incumbent is the global best: a point pruned against it
+			// can never improve the run's result.  The returned lower bound
+			// feeds the acceptance rule below; since the bound understates
+			// F, a pruned point is — if anything — accepted slightly more
+			// often than its true value would be, preserving the
+			// hill-escaping of the annealing.
+			value, _, prunedEval, err := s.evaluate(ctx, chi, bestValue)
 			if err != nil {
 				if errors.Is(err, errStop) {
 					return s.result(best, bestValue), nil
@@ -379,7 +431,7 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 
 			accepted := s.pointAccepted(value, centerValue, temperature)
 			improved := value < bestValue
-			s.record(chi, value, accepted, improved)
+			s.record(chi, value, accepted, improved, prunedEval)
 			if accepted {
 				center, centerValue = chi, value
 				if improved {
@@ -441,14 +493,14 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 	opts = opts.withDefaults()
 	s := newSearch(obj, opts)
 
-	startValue, _, err := s.evaluate(ctx, start)
+	startValue, _, _, err := s.evaluate(ctx, start, math.Inf(1))
 	if err != nil {
 		if errors.Is(err, errStop) {
 			return s.result(start, math.Inf(1)), nil
 		}
 		return nil, err
 	}
-	s.record(start, startValue, true, true)
+	s.record(start, startValue, true, true, false)
 
 	tl := newTabuLists(opts.Radius)
 	tl.addChecked(start, startValue, s.values)
@@ -466,7 +518,11 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 			if !ok {
 				break // neighbourhood of the centre fully checked
 			}
-			value, fresh, err := s.evaluate(ctx, chi)
+			// The incumbent is the best value so far: a pruned point's lower
+			// bound exceeds it, so `improved` below is false for every
+			// pruned evaluation — exactly the information the tabu search
+			// needs from a worse point, at a fraction of the solving.
+			value, fresh, prunedEval, err := s.evaluate(ctx, chi, bestValue)
 			if err != nil {
 				if errors.Is(err, errStop) {
 					return s.result(best, bestValue), nil
@@ -477,7 +533,7 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 				tl.addChecked(chi, value, s.values)
 			}
 			improved := value < bestValue
-			s.record(chi, value, improved, improved)
+			s.record(chi, value, improved, improved, prunedEval)
 			if improved {
 				best, bestValue = chi, value
 				bestValueUpdated = true

@@ -1,0 +1,302 @@
+package pdsat
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/eval"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// evalTestConfig is the fixed-seed configuration shared by the regression
+// tests of the budget-aware evaluation engine.
+func evalTestConfig(pol eval.Policy) Config {
+	return Config{
+		SampleSize: 24,
+		Workers:    2,
+		Seed:       3,
+		CostMetric: solver.CostPropagations,
+		Policy:     pol,
+	}
+}
+
+// legacyActivityObjective wraps a runner as a plain optimize.Objective
+// *without* implementing eval.Evaluator, pinning the pre-engine evaluation
+// path (one full batch per evaluation) so the tests below can compare the
+// refactored pipeline against it.  It forwards conflict activity so the
+// tabu search's getNewCenter heuristic behaves identically on both paths.
+type legacyActivityObjective struct{ r *Runner }
+
+func (o legacyActivityObjective) Evaluate(ctx context.Context, p decomp.Point) (float64, error) {
+	return o.r.Evaluate(ctx, p)
+}
+
+func (o legacyActivityObjective) VarActivity(v cnf.Var) float64 { return o.r.VarActivity(v) }
+
+// TestEvalPolicyDisabledBitIdenticalEstimate checks the tentpole's central
+// regression guarantee at the single-evaluation level: with pruning and
+// staging disabled (the zero policy) the budget-aware path reproduces the
+// classic full-sample evaluation bit for bit — F value, every raw sample
+// cost, conflict activities and aggregate solver statistics.
+func TestEvalPolicyDisabledBitIdenticalEstimate(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	p := space.FullPoint()
+
+	classic := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	want, err := classic.EvaluatePoint(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budgeted := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	got, err := budgeted.EvaluatePointBudgeted(context.Background(), p, eval.Policy{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Estimate != want.Estimate {
+		t.Fatalf("estimate differs: got %+v, want %+v", got.Estimate, want.Estimate)
+	}
+	gv, wv := got.Sample.Values(), want.Sample.Values()
+	if len(gv) != len(wv) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(gv), len(wv))
+	}
+	for i := range gv {
+		if gv[i] != wv[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, gv[i], wv[i])
+		}
+	}
+	if got.Pruned || got.EarlyStopped || got.StagesRun != 1 {
+		t.Fatalf("zero policy must run exactly one full stage: %+v", got)
+	}
+	if got.SamplesAborted != 0 {
+		t.Fatalf("zero policy aborted %d samples", got.SamplesAborted)
+	}
+	for v := 1; v <= inst.CNF.NumVars; v++ {
+		if a, b := classic.VarActivity(cnf.Var(v)), budgeted.VarActivity(cnf.Var(v)); a != b {
+			t.Fatalf("conflict activity of %d differs: %v vs %v", v, a, b)
+		}
+	}
+	ca, ba := classic.AggregateStats(), budgeted.AggregateStats()
+	ca.SolveTime, ba.SolveTime = 0, 0 // wall clock is not bit-comparable
+	if ca != ba {
+		t.Fatalf("aggregate stats differ:\n%+v\n%+v", ca, ba)
+	}
+	if classic.SubproblemsSolved() != budgeted.SubproblemsSolved() {
+		t.Fatalf("solved counts differ: %d vs %d", classic.SubproblemsSolved(), budgeted.SubproblemsSolved())
+	}
+}
+
+// TestEvalPolicyDisabledBitIdenticalSearch is the CI regression gate for
+// the pruning-off path: a fixed-seed tabu search driven through the new
+// eval.Evaluator plumbing with the zero policy must reproduce the legacy
+// bare-Objective search exactly — same best point, same best F, same trace
+// values, same conflict activities and solved-subproblem counts.
+func TestEvalPolicyDisabledBitIdenticalSearch(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	opts := optimize.Options{Seed: 5, MaxEvaluations: 25}
+
+	legacy := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	want, err := optimize.TabuSearch(context.Background(), legacyActivityObjective{legacy}, space.FullPoint(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bare Runner implements eval.Evaluator, so this search runs
+	// through the budget-aware engine (with everything disabled).
+	engine := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	got, err := optimize.TabuSearch(context.Background(), engine, space.FullPoint(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.BestValue != want.BestValue {
+		t.Fatalf("best F differs: %v vs %v", got.BestValue, want.BestValue)
+	}
+	if !got.BestPoint.Equal(want.BestPoint) {
+		t.Fatalf("best point differs: %v vs %v", got.BestPoint, want.BestPoint)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", got.Evaluations, want.Evaluations)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(got.Trace), len(want.Trace))
+	}
+	for i := range got.Trace {
+		g, w := got.Trace[i], want.Trace[i]
+		if g.Value != w.Value || !g.Point.Equal(w.Point) || g.Improved != w.Improved || g.Pruned {
+			t.Fatalf("trace visit %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+	for _, v := range inst.UnknownStartVars() {
+		if a, b := legacy.VarActivity(v), engine.VarActivity(v); a != b {
+			t.Fatalf("conflict activity of %d differs: %v vs %v", v, a, b)
+		}
+	}
+	if legacy.SubproblemsSolved() != engine.SubproblemsSolved() {
+		t.Fatalf("solved counts differ: %d vs %d", legacy.SubproblemsSolved(), engine.SubproblemsSolved())
+	}
+	if engine.PrunedEvaluations() != 0 || engine.SubproblemsAborted() != 0 {
+		t.Fatalf("zero policy pruned %d evaluations / aborted %d subproblems",
+			engine.PrunedEvaluations(), engine.SubproblemsAborted())
+	}
+}
+
+// TestEvaluatePointBudgetedPrunes checks the pruning mechanism directly: an
+// evaluation given an incumbent far below the point's true F must abort
+// early, report a certified lower bound above the incumbent, and account
+// the skipped subproblems as aborted.
+func TestEvaluatePointBudgetedPrunes(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	p := space.FullPoint()
+
+	full, err := NewRunner(inst.CNF, evalTestConfig(eval.Policy{})).
+		EvaluatePoint(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(inst.CNF, evalTestConfig(eval.Policy{Prune: true}))
+	incumbent := full.Estimate.Value / 100
+	pe, err := r.EvaluatePointBudgeted(context.Background(), p, r.Config().Policy, incumbent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.Pruned {
+		t.Fatalf("evaluation with incumbent %v was not pruned: %+v", incumbent, pe)
+	}
+	if pe.LowerBound <= incumbent {
+		t.Fatalf("lower bound %v does not exceed the incumbent %v", pe.LowerBound, incumbent)
+	}
+	if pe.BoundedValue() != pe.LowerBound {
+		t.Fatalf("BoundedValue = %v, want the lower bound %v", pe.BoundedValue(), pe.LowerBound)
+	}
+	if pe.Sample.Len()+pe.SamplesAborted > pe.SamplesPlanned {
+		t.Fatalf("accounting: %d solved + %d aborted > %d planned",
+			pe.Sample.Len(), pe.SamplesAborted, pe.SamplesPlanned)
+	}
+	if pe.Sample.Len() >= pe.SamplesPlanned {
+		t.Fatalf("pruned evaluation still solved the full sample (%d)", pe.Sample.Len())
+	}
+	if r.PrunedEvaluations() != 1 {
+		t.Fatalf("PrunedEvaluations = %d, want 1", r.PrunedEvaluations())
+	}
+	if got := r.SubproblemsSolved() + r.SubproblemsAborted(); got != pe.Sample.Len()+pe.SamplesAborted {
+		t.Fatalf("runner counters (%d) disagree with the estimate (%d)",
+			got, pe.Sample.Len()+pe.SamplesAborted)
+	}
+	ev := pe.Evaluation()
+	if ev.Value != pe.LowerBound || !ev.Pruned || ev.SamplesSolved != pe.Sample.Len() {
+		t.Fatalf("Evaluation conversion mismatch: %+v", ev)
+	}
+}
+
+// TestEvaluatePointBudgetedStagesEarlyStop checks staged sampling: with a
+// generous ε a cheap homogeneous point must stop after the first stage, and
+// the estimate over the prefix must match a same-seed evaluation truncated
+// to that prefix length.
+func TestEvaluatePointBudgetedStagesEarlyStop(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	p := space.FullPoint()
+
+	pol := eval.Policy{Stages: 3, Epsilon: 10} // ε so large any 2-sample stage passes
+	r := NewRunner(inst.CNF, evalTestConfig(pol))
+	pe, err := r.EvaluatePointBudgeted(context.Background(), p, pol, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.EarlyStopped {
+		t.Fatalf("evaluation did not stop early: %+v", pe)
+	}
+	if pe.StagesRun != 1 {
+		t.Fatalf("StagesRun = %d, want 1", pe.StagesRun)
+	}
+	wantLen := eval.StagePlan(24, 3)[0]
+	if pe.Sample.Len() != wantLen {
+		t.Fatalf("solved %d samples, want the first stage of %d", pe.Sample.Len(), wantLen)
+	}
+	if pe.SamplesAborted != 0 {
+		t.Fatalf("early stop aborted %d samples (none were dispatched)", pe.SamplesAborted)
+	}
+
+	// The prefix must be exactly the first samples of the full-sample
+	// evaluation (the sample depends only on seed and counter).
+	full, err := NewRunner(inst.CNF, evalTestConfig(eval.Policy{})).
+		EvaluatePoint(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, gv := full.Sample.Values(), pe.Sample.Values()
+	for i := range gv {
+		if gv[i] != fv[i] {
+			t.Fatalf("staged sample %d differs from the full sample prefix: %v vs %v", i, gv[i], fv[i])
+		}
+	}
+}
+
+// TestPruningAndStagingSaveSubproblems is the behavioural headline of the
+// engine: on the weakened-Bivium tabu search the default policy must cut
+// the number of solved subproblems by a large margin (the acceptance bar is
+// ≥30%) while finding the same best F as the exhaustive path — on this
+// fixed seed the best F is identical.
+func TestPruningAndStagingSaveSubproblems(t *testing.T) {
+	inst := weakBivium(t, 160, 200, 7)
+	space := unknownSpace(inst)
+	opts := optimize.Options{Seed: 5, MaxEvaluations: 40}
+
+	run := func(pol eval.Policy) (float64, int) {
+		r := NewRunner(inst.CNF, Config{
+			SampleSize: 30,
+			Workers:    2,
+			Seed:       3,
+			CostMetric: solver.CostPropagations,
+			Policy:     pol,
+		})
+		res, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestValue, r.SubproblemsSolved()
+	}
+
+	bestOff, solvedOff := run(eval.Policy{})
+	bestOn, solvedOn := run(eval.DefaultPolicy())
+	t.Logf("subproblems solved: %d without policy, %d with defaults (best F %g vs %g)",
+		solvedOff, solvedOn, bestOff, bestOn)
+	if bestOn != bestOff {
+		t.Fatalf("best F changed under the default policy: %v vs %v", bestOn, bestOff)
+	}
+	if float64(solvedOn) > 0.7*float64(solvedOff) {
+		t.Fatalf("default policy saved too little: %d of %d subproblems solved (want ≤70%%)",
+			solvedOn, solvedOff)
+	}
+}
+
+// TestSolveReportCountsAborted checks the solving-mode accounting: a
+// stop-on-SAT family run reports the subproblems it cut short.
+func TestSolveReportCountsAborted(t *testing.T) {
+	inst := weakBivium(t, 172, 60, 21)
+	space := unknownSpace(inst)
+	r := NewRunner(inst.CNF, Config{Workers: 2, Seed: 3, CostMetric: solver.CostPropagations})
+	report, err := r.Solve(context.Background(), space.FullPoint(), SolveOptions{StopOnSat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.FoundSat {
+		t.Fatal("weakened instance must contain its key")
+	}
+	if report.SubproblemsAborted != r.SubproblemsAborted() {
+		t.Fatalf("report aborted %d, runner counted %d", report.SubproblemsAborted, r.SubproblemsAborted())
+	}
+	if report.Processed == 0 {
+		t.Fatal("no subproblem processed")
+	}
+}

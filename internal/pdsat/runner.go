@@ -41,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -49,6 +50,7 @@ import (
 	"github.com/paper-repro/pdsat-go/internal/cluster"
 	"github.com/paper-repro/pdsat-go/internal/cnf"
 	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/eval"
 	"github.com/paper-repro/pdsat-go/internal/montecarlo"
 	"github.com/paper-repro/pdsat-go/internal/solver"
 )
@@ -89,6 +91,13 @@ type Config struct {
 	// means a private in-process transport with Workers goroutines.  The
 	// Runner does not close the transport; its creator owns its lifetime.
 	Transport cluster.Transport
+	// Policy configures the budget-aware evaluation engine: incumbent
+	// pruning and staged adaptive sampling of predictive-function
+	// evaluations (see internal/eval).  The zero value disables both and
+	// reproduces the always-full-sample evaluation bit for bit.  The
+	// policy's Cache flag is interpreted by the session layer, which owns
+	// the cross-search F-cache; the Runner itself never memoizes.
+	Policy eval.Policy
 }
 
 // Validate reports whether the configuration is usable.  Zero values are
@@ -102,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("pdsat: negative worker count %d (use 0 for all CPUs)", c.Workers)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -137,10 +149,19 @@ type Runner struct {
 	// confAct accumulates per-variable conflict activity over every
 	// subproblem solved by this runner (indexed by cnf.Var).
 	confAct []float64
-	// evaluations counts predictive-function evaluations.
+	// evaluations counts predictive-function evaluations (full, pruned and
+	// partial alike — the counter also seeds each evaluation's sample RNG,
+	// so it must advance identically whether or not a policy is active).
 	evaluations int
-	// subproblemsSolved counts individual subproblem solves.
-	subproblemsSolved int
+	// prunedEvaluations counts evaluations aborted by incumbent pruning;
+	// their reported values are lower bounds, not full estimates.
+	prunedEvaluations int
+	// subproblemsSolved counts subproblems solved to completion (their own
+	// conclusion or per-task budget); subproblemsAborted counts dispatched
+	// subproblems cut short by a batch abort or cancellation (truncated
+	// mid-solve or never handed to a solver).
+	subproblemsSolved  int
+	subproblemsAborted int
 	// aggStats accumulates the per-subproblem solver statistics.
 	aggStats solver.Stats
 }
@@ -188,11 +209,31 @@ func (r *Runner) Evaluations() int {
 	return r.evaluations
 }
 
-// SubproblemsSolved returns the number of subproblems solved so far.
+// SubproblemsSolved returns the number of subproblems solved to completion
+// so far.  Subproblems cut short by a batch abort or cancellation are
+// counted by SubproblemsAborted instead.
 func (r *Runner) SubproblemsSolved() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.subproblemsSolved
+}
+
+// PrunedEvaluations returns how many predictive-function evaluations were
+// aborted by incumbent pruning (Evaluations counts them too; the difference
+// plus interrupted runs gives the full evaluations).
+func (r *Runner) PrunedEvaluations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prunedEvaluations
+}
+
+// SubproblemsAborted returns how many dispatched subproblems were cut short
+// — truncated mid-solve by a batch abort/cancellation, or never handed to a
+// solver at all — and therefore produced no full Monte Carlo sample.
+func (r *Runner) SubproblemsAborted() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subproblemsAborted
 }
 
 // AggregateStats returns the summed solver statistics of every subproblem
@@ -237,6 +278,65 @@ type PointEstimate struct {
 	// the interrupt), so treat a partial F as a rough indication rather
 	// than an unbiased Monte Carlo estimate.
 	Interrupted bool
+	// Pruned reports that the evaluation was aborted by incumbent pruning:
+	// the partial lower bound 2^d·(Σζ)/N exceeded the incumbent the
+	// evaluation was given, so the candidate is provably worse and the
+	// rest of its sample was skipped.  BoundedValue then returns
+	// LowerBound; the Estimate over the completed prefix is biased high
+	// (the evaluation aborted because the costs were large) and exists for
+	// diagnostics only.
+	Pruned bool
+	// EarlyStopped reports that staged sampling ended before the full
+	// sample because the eq.-3 confidence half-width met the policy's ε
+	// target.  Unlike an interruption, the solved prefix was chosen
+	// independently of the observed values, so the Estimate remains an
+	// unbiased Monte Carlo estimate — just over fewer samples.
+	EarlyStopped bool
+	// SamplesPlanned is the configured sample size N.  The number actually
+	// solved to completion is Sample.Len(); SamplesAborted counts
+	// dispatched subproblems cut short by the prune abort (truncated
+	// mid-solve or drained as placeholders).  Samples of stages that were
+	// never dispatched appear in neither counter: SamplesPlanned −
+	// Sample.Len() − SamplesAborted is the work the policy skipped
+	// entirely.
+	SamplesPlanned int
+	SamplesAborted int
+	// StagesRun counts the sample stages dispatched (1 without staging).
+	StagesRun int
+	// LowerBound is 2^d·(Σζ)/N over every observed cost — including solves
+	// truncated by the abort — a certified lower bound on the full-sample
+	// F value.
+	LowerBound float64
+}
+
+// BoundedValue returns the evaluation's headline value: the Monte Carlo
+// estimate for complete, early-stopped and interrupted evaluations, or the
+// certified LowerBound for pruned ones (which by construction exceeds the
+// incumbent the evaluation was pruned against).
+func (pe *PointEstimate) BoundedValue() float64 {
+	if pe.Pruned {
+		return pe.LowerBound
+	}
+	return pe.Estimate.Value
+}
+
+// Evaluation converts the estimate into the evaluation engine's result
+// form.
+func (pe *PointEstimate) Evaluation() eval.Evaluation {
+	return eval.Evaluation{
+		Value:              pe.BoundedValue(),
+		Estimate:           pe.Estimate,
+		LowerBound:         pe.LowerBound,
+		Pruned:             pe.Pruned,
+		EarlyStopped:       pe.EarlyStopped,
+		Interrupted:        pe.Interrupted,
+		SamplesPlanned:     pe.SamplesPlanned,
+		SamplesSolved:      pe.Sample.Len(),
+		SamplesAborted:     pe.SamplesAborted,
+		StagesRun:          pe.StagesRun,
+		SatisfiableSamples: pe.SatisfiableSamples,
+		WallTime:           pe.WallTime,
+	}
 }
 
 // Progress describes one completed subproblem within a running evaluation
@@ -274,9 +374,47 @@ func (r *Runner) EvaluatePoint(ctx context.Context, p decomp.Point) (*PointEstim
 // collection order; observe must not block for long.  The estimate itself
 // is bit-identical to EvaluatePoint's — observation never changes the
 // sample, the costs or the evaluation counter.
+//
+// Both run under the runner's configured evaluation policy with no
+// incumbent, so staged sampling applies but pruning never triggers.
 func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, observe func(Progress)) (*PointEstimate, error) {
+	return r.EvaluatePointBudgeted(ctx, p, r.cfg.Policy, math.Inf(1), observe)
+}
+
+// EvaluatePointBudgeted is the budget-aware evaluation at the heart of the
+// engine: it computes the predictive function F at the point under the
+// given policy and incumbent bound (the best F the caller has already
+// certified; +Inf if none).
+//
+// The sample itself — which N assignments of the decomposition set are
+// drawn — depends only on (Seed, evaluation counter), exactly as in
+// EvaluatePoint; the policy decides how much of it is solved:
+//
+//   - Staged sampling (Policy.Stages) dispatches the sample in
+//     geometrically growing prefixes and stops once the eq.-3 confidence
+//     half-width of the mean falls to Policy.Epsilon·mean (the result is
+//     then marked EarlyStopped; the prefix is value-independent, so the
+//     estimate stays unbiased).
+//
+//   - Incumbent pruning (Policy.Prune, finite incumbent) watches the
+//     running cost sum as results stream in and aborts the remainder of the
+//     batch — through the transport's batch abort, which cancels only this
+//     batch's in-flight tasks, never the transport — as soon as the lower
+//     bound 2^d·(Σζ)/N exceeds the incumbent.  Later stages also tighten
+//     each task's solver budget to the remaining allowance, the paper's
+//     per-subproblem time limit turned into a certified pruning proxy: a
+//     task truncated at the allowance already proves the candidate worse.
+//
+// With the zero policy the call degenerates to exactly one full batch and
+// is bit-identical to the historical EvaluatePoint.  Cancellation semantics
+// are unchanged: a cancelled evaluation returns the partial estimate
+// (marked Interrupted) together with the context's error.
+func (r *Runner) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, observe func(Progress)) (*PointEstimate, error) {
 	if r.cfgErr != nil {
 		return nil, r.cfgErr
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
 	}
 	if p.Count() == 0 {
 		return nil, errors.New("pdsat: empty decomposition set")
@@ -293,6 +431,7 @@ func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, obse
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(evalIndex)*0x5851f42d4c957f2d))
 	d := fam.Dimension()
 	n := r.cfg.SampleSize
+	scale := math.Exp2(float64(d))
 
 	tasks := make([]cluster.Task, n)
 	for i := 0; i < n; i++ {
@@ -304,39 +443,94 @@ func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, obse
 		tasks[i] = cluster.Task{Index: i, Assumptions: assumptions}
 	}
 
-	results, runErr := r.runTasksObserved(ctx, tasks, cluster.StopNone, false, observe)
-	if runErr != nil && !cluster.IsInterruption(runErr) {
-		return nil, runErr
+	prune := pol.Prune && !math.IsInf(incumbent, 1) && !math.IsNaN(incumbent)
+	// sumBound is the incumbent translated onto the plain cost sum:
+	// 2^d·(Σζ)/N > incumbent  ⇔  Σζ > incumbent·N/2^d.
+	sumBound := math.Inf(1)
+	if prune {
+		sumBound = incumbent * float64(n) / scale
 	}
-	r.absorbActivities(results)
 
-	var costs []float64
-	satCount := 0
-	if runErr == nil {
-		costs = make([]float64, n)
-		for _, res := range results {
-			costs[res.Index] = res.Cost
-			if res.Status == solver.Sat {
-				satCount++
+	// The stage observer runs on the batch collection path (a single
+	// goroutine whose calls complete before the batch call returns), so the
+	// running totals need no locking.
+	var (
+		sumAll  float64 // every observed cost, truncated solves included
+		done    int     // Progress numbering across stages
+		aborted bool
+		abortCh = make(chan struct{})
+	)
+	stageObserver := func(globalOffset int) func(cluster.TaskResult) {
+		return func(res cluster.TaskResult) {
+			res.Index += globalOffset
+			if res.Started {
+				sumAll += res.Cost
+			}
+			done++
+			if observe != nil {
+				observe(Progress{Done: done, Total: n, Result: res})
+			}
+			if prune && !aborted && sumAll > sumBound {
+				aborted = true
+				close(abortCh)
 			}
 		}
-	} else {
-		// Partial evaluation: only subproblems a solver ran to its normal
-		// conclusion (or per-task budget) are samples — a solve truncated
-		// by the cancellation itself undercounts its subproblem outright.
-		// Note the surviving subset is still completion-time censored (the
-		// subproblems in flight at the interrupt skew expensive), so a
-		// partial F remains an indication, not an unbiased estimate; see
-		// PointEstimate.Interrupted.  Keep enumeration order for
-		// determinism.
-		byIndex := make([]*cluster.TaskResult, n)
+	}
+
+	var (
+		costs        []float64 // completed samples, enumeration order
+		satCount     int
+		collected    int // results gathered over all dispatched stages
+		pruned       bool
+		earlyStopped bool
+		stagesRun    int
+		runErr       error
+	)
+	next := 0
+	for _, end := range eval.StagePlan(n, pol.Stages) {
+		begin := next
+		next = end
+		if prune && sumAll > sumBound {
+			pruned = true
+			break
+		}
+		if earlyStopped {
+			break
+		}
+		opts := cluster.BatchOptions{
+			Budget:     r.cfg.SubproblemBudget,
+			CostMetric: r.cfg.CostMetric,
+		}
+		if prune {
+			// Per-stage budget: no single task may cost more than what is
+			// left before the sum certifiably crosses the bound.
+			opts.Budget = opts.Budget.TightenedBy(
+				solver.BudgetForCost(r.cfg.CostMetric, sumBound-sumAll))
+		}
+		sub := make([]cluster.Task, end-begin)
+		for j := range sub {
+			sub[j] = cluster.Task{Index: j, Assumptions: tasks[begin+j].Assumptions}
+		}
+		var abort <-chan struct{}
+		if prune {
+			abort = abortCh
+		}
+		results, err := r.runBatch(ctx, sub, opts, stageObserver(begin), abort)
+		if err != nil && !cluster.IsInterruption(err) {
+			return nil, err
+		}
+		stagesRun++
+		collected += len(results)
+		// Completed samples in enumeration order, for deterministic
+		// float summation regardless of scheduling.
+		ordered := make([]*cluster.TaskResult, len(sub))
 		for i := range results {
-			if results[i].Started && !results[i].Cancelled && results[i].Index < n {
-				byIndex[results[i].Index] = &results[i]
+			if idx := results[i].Index; idx >= 0 && idx < len(ordered) {
+				ordered[idx] = &results[i]
 			}
 		}
-		for _, res := range byIndex {
-			if res == nil {
+		for _, res := range ordered {
+			if res == nil || !res.Started || res.Cancelled {
 				continue
 			}
 			costs = append(costs, res.Cost)
@@ -344,11 +538,37 @@ func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, obse
 				satCount++
 			}
 		}
-		if len(costs) == 0 {
-			return nil, runErr
+		r.absorbActivities(results)
+		if err != nil {
+			runErr = err
+			break
+		}
+		if prune && (aborted || sumAll > sumBound) {
+			pruned = true
+			break
+		}
+		if next < n && len(costs) >= 2 {
+			s := montecarlo.NewSample(costs)
+			if eval.Confident(s.Mean(), s.StdDev(), s.Len(), pol.EffectiveGamma(), pol.Epsilon) {
+				earlyStopped = true
+			}
 		}
 	}
 
+	if pruned {
+		r.mu.Lock()
+		r.prunedEvaluations++
+		r.mu.Unlock()
+	}
+	if runErr != nil && len(costs) == 0 {
+		return nil, runErr
+	}
+	// Partial evaluations (interrupted or pruned) keep only subproblems a
+	// solver ran to its normal conclusion (or per-task budget) as samples —
+	// a solve truncated by the cancellation/abort itself undercounts its
+	// subproblem outright.  An interrupted subset is completion-time
+	// censored (in-flight subproblems skew expensive), so a partial F is an
+	// indication, not an unbiased estimate; see PointEstimate.Interrupted.
 	sample := montecarlo.NewSample(costs)
 	est := montecarlo.NewEstimate(d, sample)
 	return &PointEstimate{
@@ -358,6 +578,12 @@ func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, obse
 		SatisfiableSamples: satCount,
 		WallTime:           time.Since(start),
 		Interrupted:        runErr != nil,
+		Pruned:             pruned,
+		EarlyStopped:       earlyStopped,
+		SamplesPlanned:     n,
+		SamplesAborted:     collected - sample.Len(),
+		StagesRun:          stagesRun,
+		LowerBound:         scale * sumAll / float64(n),
 	}, runErr
 }
 
@@ -371,6 +597,25 @@ func (r *Runner) Evaluate(ctx context.Context, p decomp.Point) (float64, error) 
 	return est.Estimate.Value, nil
 }
 
+// EvaluateBudgeted implements eval.Backend: one budget-aware evaluation
+// under an explicit policy and incumbent, in the engine's result form.
+func (r *Runner) EvaluateBudgeted(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64) (*eval.Evaluation, error) {
+	pe, err := r.EvaluatePointBudgeted(ctx, p, pol, incumbent, nil)
+	if pe == nil {
+		return nil, err
+	}
+	ev := pe.Evaluation()
+	return &ev, err
+}
+
+// EvaluateF implements eval.Evaluator under the runner's configured policy,
+// which lets the optimize searches thread their incumbent into evaluations
+// on a bare Runner.  The Runner never memoizes — the cross-search F-cache
+// is owned by the session layer (pdsat.Session).
+func (r *Runner) EvaluateF(ctx context.Context, p decomp.Point, incumbent float64) (*eval.Evaluation, error) {
+	return r.EvaluateBudgeted(ctx, p, r.cfg.Policy, incumbent)
+}
+
 // absorbActivities adds the per-task conflict activities and statistics into
 // the runner's cumulative tables.  Results arrive in completion order, which
 // is fine here: the absorbed quantities are integer-valued counters, so the
@@ -381,14 +626,22 @@ func (r *Runner) absorbActivities(results []cluster.TaskResult) {
 	for _, res := range results {
 		if !res.Started {
 			// Cancelled before a solver saw it: nothing to absorb, and
-			// counting it would skew per-subproblem averages.
+			// counting it as solved would skew per-subproblem averages.
+			r.subproblemsAborted++
 			continue
 		}
 		for v := 1; v < len(res.ActVars) && v < len(r.confAct); v++ {
 			r.confAct[v] += res.ActVars[v]
 		}
 		r.aggStats = r.aggStats.Add(res.Stats)
-		r.subproblemsSolved++
+		if res.Cancelled {
+			// Truncated mid-solve by a batch abort or cancellation: the
+			// effort was real (absorbed above) but the subproblem was not
+			// solved to completion.
+			r.subproblemsAborted++
+		} else {
+			r.subproblemsSolved++
+		}
 	}
 }
 
@@ -406,21 +659,41 @@ func (r *Runner) runTasksObserved(ctx context.Context, tasks []cluster.Task, sto
 		Budget:     r.cfg.SubproblemBudget,
 		CostMetric: r.cfg.CostMetric,
 	}
-	if observe == nil {
-		return r.transport.Run(ctx, tasks, opts)
+	var observeResult func(cluster.TaskResult)
+	if observe != nil {
+		total := len(tasks)
+		done := 0
+		observeResult = func(res cluster.TaskResult) {
+			done++
+			observe(Progress{Done: done, Total: total, Result: res})
+		}
 	}
-	total := len(tasks)
-	done := 0
-	observeResult := func(res cluster.TaskResult) {
-		done++
-		observe(Progress{Done: done, Total: total, Result: res})
+	return r.runBatch(ctx, tasks, opts, observeResult, nil)
+}
+
+// runBatch dispatches one batch through the transport, using the richest
+// interface it offers: batch aborts (abort non-nil) need an
+// AbortableTransport, in-flight observation an ObservedTransport.
+// Transports without in-flight observation deliver all notifications after
+// the batch completes, preserving order; transports without abort support
+// simply run the batch to completion (the evaluation engine then prunes at
+// stage boundaries only).
+func (r *Runner) runBatch(ctx context.Context, tasks []cluster.Task, opts cluster.BatchOptions, observe func(cluster.TaskResult), abort <-chan struct{}) ([]cluster.TaskResult, error) {
+	if abort != nil {
+		if at, ok := r.transport.(cluster.AbortableTransport); ok {
+			return at.RunAbortable(ctx, tasks, opts, observe, abort)
+		}
 	}
-	if ot, ok := r.transport.(cluster.ObservedTransport); ok {
-		return ot.RunObserved(ctx, tasks, opts, observeResult)
+	if observe != nil {
+		if ot, ok := r.transport.(cluster.ObservedTransport); ok {
+			return ot.RunObserved(ctx, tasks, opts, observe)
+		}
 	}
 	results, err := r.transport.Run(ctx, tasks, opts)
-	for _, res := range results {
-		observeResult(res)
+	if observe != nil {
+		for _, res := range results {
+			observe(res)
+		}
 	}
 	return results, err
 }
@@ -430,8 +703,13 @@ func (r *Runner) runTasksObserved(ctx context.Context, tasks []cluster.Task, sto
 type SolveReport struct {
 	// Point is the decomposition set used.
 	Point decomp.Point
-	// Processed is the number of subproblems solved.
+	// Processed is the number of subproblems a solver worked on (including
+	// solves truncated by a stop-on-SAT or cancellation).
 	Processed int
+	// SubproblemsAborted counts the subproblems of the run that produced no
+	// complete solve: truncated mid-search by stop-on-SAT/cancellation, or
+	// never handed to a solver at all.
+	SubproblemsAborted int
 	// TotalCost is the summed cost of all processed subproblems (1-core
 	// sequential cost, comparable with the predictive function value).
 	TotalCost float64
@@ -529,7 +807,11 @@ func (r *Runner) SolveObserved(ctx context.Context, p decomp.Point, opts SolveOp
 		res := byIndex[idx]
 		if !res.Started {
 			// Cancelled before a solver saw it.
+			report.SubproblemsAborted++
 			continue
+		}
+		if res.Cancelled {
+			report.SubproblemsAborted++
 		}
 		report.Processed++
 		report.TotalCost += res.Cost

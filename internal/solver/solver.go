@@ -48,6 +48,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,48 @@ type Budget struct {
 	MaxPropagations uint64
 	// MaxTime stops the search after this wall-clock duration.
 	MaxTime time.Duration
+}
+
+// TightenedBy returns the element-wise tighter of the two budgets, treating
+// a zero field as unlimited.  The evaluation engine uses it to combine the
+// configured per-subproblem safety budget with the per-stage allowance
+// derived from the pruning incumbent.
+func (b Budget) TightenedBy(o Budget) Budget {
+	out := b
+	if o.MaxConflicts > 0 && (out.MaxConflicts == 0 || o.MaxConflicts < out.MaxConflicts) {
+		out.MaxConflicts = o.MaxConflicts
+	}
+	if o.MaxPropagations > 0 && (out.MaxPropagations == 0 || o.MaxPropagations < out.MaxPropagations) {
+		out.MaxPropagations = o.MaxPropagations
+	}
+	if o.MaxTime > 0 && (out.MaxTime == 0 || o.MaxTime < out.MaxTime) {
+		out.MaxTime = o.MaxTime
+	}
+	return out
+}
+
+// BudgetForCost returns a Budget that stops a solve once its cost in the
+// given metric strictly exceeds the allowance, by budgeting the matching
+// counter at ⌈allowance⌉+1.  A solve truncated by this budget therefore has
+// cost > allowance — which is what makes it a usable pruning proxy: the
+// truncated cost alone already pushes a partial sum over the incumbent
+// bound the allowance was derived from.  Metrics without a deterministic
+// budget counter (decisions, wall time) and non-positive allowances return
+// the zero (unlimited) Budget; wall time is excluded because a timing-based
+// truncation would make the observed costs scheduling-dependent.
+func BudgetForCost(metric CostMetric, allowance float64) Budget {
+	if allowance <= 0 || math.IsInf(allowance, 1) || math.IsNaN(allowance) {
+		return Budget{}
+	}
+	limit := uint64(math.Ceil(allowance)) + 1
+	switch metric {
+	case CostConflicts:
+		return Budget{MaxConflicts: limit}
+	case CostPropagations:
+		return Budget{MaxPropagations: limit}
+	default:
+		return Budget{}
+	}
 }
 
 // Result is the outcome of a Solve call.

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -439,5 +440,53 @@ func TestZeroOptionsFallBackToDefaults(t *testing.T) {
 	s := New(f, Options{})
 	if res := s.Solve(); res.Status != Sat {
 		t.Fatal("zero options should fall back to defaults and solve")
+	}
+}
+
+// TestBudgetForCost checks the pruning-proxy budget construction: the
+// budget must guarantee that a truncated solve's cost strictly exceeds the
+// allowance, and metrics without a deterministic counter must stay
+// unlimited.
+func TestBudgetForCost(t *testing.T) {
+	if b := BudgetForCost(CostConflicts, 100); b.MaxConflicts != 101 || b.MaxPropagations != 0 {
+		t.Fatalf("conflicts budget: %+v", b)
+	}
+	if b := BudgetForCost(CostConflicts, 99.2); b.MaxConflicts != 101 {
+		t.Fatalf("fractional allowance must round up: %+v", b)
+	}
+	if b := BudgetForCost(CostPropagations, 7); b.MaxPropagations != 8 || b.MaxConflicts != 0 {
+		t.Fatalf("propagations budget: %+v", b)
+	}
+	for _, m := range []CostMetric{CostDecisions, CostWallTime} {
+		if b := BudgetForCost(m, 100); b != (Budget{}) {
+			t.Fatalf("metric %v must yield an unlimited budget: %+v", m, b)
+		}
+	}
+	if b := BudgetForCost(CostConflicts, 0); b != (Budget{}) {
+		t.Fatalf("zero allowance: %+v", b)
+	}
+	if b := BudgetForCost(CostConflicts, -5); b != (Budget{}) {
+		t.Fatalf("negative allowance: %+v", b)
+	}
+	if b := BudgetForCost(CostConflicts, math.Inf(1)); b != (Budget{}) {
+		t.Fatalf("infinite allowance: %+v", b)
+	}
+}
+
+// TestBudgetTightenedBy checks the element-wise combination with zero
+// meaning unlimited.
+func TestBudgetTightenedBy(t *testing.T) {
+	a := Budget{MaxConflicts: 100, MaxTime: time.Second}
+	b := Budget{MaxConflicts: 50, MaxPropagations: 10}
+	got := a.TightenedBy(b)
+	want := Budget{MaxConflicts: 50, MaxPropagations: 10, MaxTime: time.Second}
+	if got != want {
+		t.Fatalf("TightenedBy = %+v, want %+v", got, want)
+	}
+	if got := (Budget{}).TightenedBy(Budget{}); got != (Budget{}) {
+		t.Fatalf("zero budgets: %+v", got)
+	}
+	if got := b.TightenedBy(a); got != want {
+		t.Fatalf("TightenedBy must be symmetric here: %+v", got)
 	}
 }

@@ -27,6 +27,31 @@
 // PredictAndSolve, …) that submit a job and wait for it — both paths
 // produce bit-identical results for a fixed seed.
 //
+// # Evaluation policies
+//
+// One evaluation of F costs N subproblem solves (paper §3), so an
+// EvalPolicy — set session-wide via RunnerConfig.Policy or per job via
+// EstimateJob.Policy/SearchJob.Policy — lets the evaluation engine spend
+// less where full precision buys nothing, with each knob mapping back to a
+// device of the paper:
+//
+//   - Prune (the paper's per-subproblem time limits): abort an evaluation
+//     as soon as its partial lower bound 2^d·(Σζ)/N exceeds the best F the
+//     search has seen; the cluster leader cancels only that batch on the
+//     workers, and later tasks carry a solver budget capped at the
+//     remaining allowance.
+//   - Stages/Epsilon/Gamma (the eq.-3 CLT confidence interval): solve the
+//     sample in geometric stages and stop once the confidence half-width
+//     δ_γ·σ/√n falls to ε·mean.
+//   - Cache: a point-keyed F-memoization cache owned by the Session and
+//     shared across its searches and jobs; hit/miss counters are reported
+//     by Session.Stats and GET /v1/stats.
+//
+// Policy activity is visible in the event stream (EvalPruned, CacheHit;
+// SearchVisit.Pruned flags lower-bound visits).  The zero EvalPolicy
+// disables every mechanism and reproduces full-sample evaluations bit for
+// bit; DefaultEvalPolicy returns the recommended settings.
+//
 // Server exposes the same API over HTTP/JSON (submit, stream events as
 // NDJSON or SSE, fetch results, cancel); `pdsat -serve :8080` serves it
 // from the command line.  See the package example and README.md for

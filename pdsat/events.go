@@ -6,16 +6,17 @@ import (
 )
 
 // Event is a typed progress notification from a running Job.  The concrete
-// types are SampleProgress, SearchVisit, WorkerJoined, WorkerLost and Done.
+// types are SampleProgress, SearchVisit, EvalPruned, CacheHit, WorkerJoined,
+// WorkerLost and Done.
 //
 // Every job's event stream is ordered (events arrive in the order the job
 // produced them) and terminates with exactly one Done event — also when the
 // job is cancelled or fails.  No events follow the Done.
 type Event interface {
 	// EventKind returns the stable wire name of the event type
-	// ("sample_progress", "search_visit", "worker_joined", "worker_lost",
-	// "done"); the HTTP server uses it as the SSE event name and NDJSON
-	// discriminator.
+	// ("sample_progress", "search_visit", "eval_pruned", "cache_hit",
+	// "worker_joined", "worker_lost", "done"); the HTTP server uses it as
+	// the SSE event name and NDJSON discriminator.
 	EventKind() string
 }
 
@@ -62,10 +63,53 @@ type SearchVisit struct {
 	// Improved whether it improved the best known value.
 	Accepted bool `json:"accepted"`
 	Improved bool `json:"improved"`
+	// Pruned reports that the evaluation was aborted by incumbent pruning;
+	// Value is then a certified lower bound, not a full estimate.
+	Pruned bool `json:"pruned,omitempty"`
 }
 
 // EventKind implements Event.
 func (SearchVisit) EventKind() string { return "search_visit" }
+
+// EvalPruned reports that the evaluation engine aborted a
+// predictive-function evaluation because its partial lower bound 2^d·(Σζ)/N
+// exceeded the search incumbent: the candidate set is provably worse than
+// the best one already found, and the remainder of its sample was skipped.
+type EvalPruned struct {
+	// Job is the reporting job's ID.
+	Job string `json:"job"`
+	// Vars is the pruned decomposition set, sorted by variable index.
+	Vars []Var `json:"vars"`
+	// LowerBound is the certified lower bound on F that triggered the
+	// prune; Incumbent is the best F it was compared against.
+	LowerBound float64 `json:"lower_bound"`
+	Incumbent  float64 `json:"incumbent"`
+	// SamplesSolved of SamplesPlanned subproblems were solved to completion
+	// before the abort.
+	SamplesSolved  int `json:"samples_solved"`
+	SamplesPlanned int `json:"samples_planned"`
+}
+
+// EventKind implements Event.
+func (EvalPruned) EventKind() string { return "eval_pruned" }
+
+// CacheHit reports that a predictive-function evaluation was served from
+// the session's cross-search F-cache without solving any subproblem.
+type CacheHit struct {
+	// Job is the reporting job's ID.
+	Job string `json:"job"`
+	// Vars is the memoized decomposition set, sorted by variable index.
+	Vars []Var `json:"vars"`
+	// Value is the cached F value (a lower bound for entries memoized from
+	// pruned evaluations, which are served only when they still prove the
+	// point worse than the search incumbent).
+	Value float64 `json:"value"`
+	// Pruned marks lower-bound entries.
+	Pruned bool `json:"pruned,omitempty"`
+}
+
+// EventKind implements Event.
+func (CacheHit) EventKind() string { return "cache_hit" }
 
 // WorkerJoined reports that a remote worker registered with the session's
 // cluster leader while the job was running (see Session.PublishWorkerJoined).

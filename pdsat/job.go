@@ -3,8 +3,10 @@ package pdsat
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
+	"github.com/paper-repro/pdsat-go/internal/eval"
 	"github.com/paper-repro/pdsat-go/internal/optimize"
 )
 
@@ -38,18 +40,29 @@ type JobSpec interface {
 }
 
 // EstimateJob evaluates the predictive function F at one decomposition
-// set.  It emits a SampleProgress event per collected subproblem result and
+// set.  It emits a SampleProgress event per collected subproblem result
+// (plus a CacheHit when the evaluation is served from the F-cache) and
 // produces JobResult.Estimate.
 type EstimateJob struct {
 	// Vars is the decomposition set to estimate; empty means the full
 	// start set.  It must be a subset of the problem's start set.
 	Vars []Var `json:"vars,omitempty"`
+	// Policy optionally overrides the session's evaluation policy for this
+	// job (staged sampling and the F-cache apply to estimations; pruning
+	// needs a search incumbent and never triggers here).  Nil means the
+	// session default.
+	Policy *EvalPolicy `json:"policy,omitempty"`
 }
 
 // Kind implements JobSpec.
 func (EstimateJob) Kind() JobKind { return JobEstimate }
 
 func (spec EstimateJob) validate(s *Session) error {
+	if spec.Policy != nil {
+		if err := spec.Policy.Validate(); err != nil {
+			return err
+		}
+	}
 	_, err := s.pointFromVars(spec.Vars)
 	return err
 }
@@ -59,7 +72,7 @@ func (spec EstimateJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := j.session.estimateObserved(ctx, p, j)
+	est, err := j.session.estimateObserved(ctx, p, j, j.session.policyFor(spec.Policy))
 	if est == nil {
 		return nil, err
 	}
@@ -67,9 +80,10 @@ func (spec EstimateJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 }
 
 // SearchJob minimizes the predictive function with one of the paper's
-// metaheuristics.  It emits a SearchVisit event per optimizer step and
+// metaheuristics.  It emits a SearchVisit event per optimizer step,
 // SampleProgress events for the samples of the evaluation currently in
-// flight, and produces JobResult.Search.
+// flight, EvalPruned/CacheHit events when the evaluation policy saves work,
+// and produces JobResult.Search.
 type SearchJob struct {
 	// Method selects the metaheuristic: "sa"/"simulated annealing" or
 	// "tabu"/"tabu search" (default).
@@ -77,6 +91,10 @@ type SearchJob struct {
 	// Start is the starting decomposition set; empty means the full start
 	// set, as in the paper.
 	Start []Var `json:"start,omitempty"`
+	// Policy optionally overrides the session's evaluation policy for this
+	// job: incumbent pruning, staged sampling and the cross-search F-cache.
+	// Nil means the session default.
+	Policy *EvalPolicy `json:"policy,omitempty"`
 }
 
 // Kind implements JobSpec.
@@ -98,6 +116,11 @@ func (spec SearchJob) validate(s *Session) error {
 	if _, err := spec.methodName(); err != nil {
 		return err
 	}
+	if spec.Policy != nil {
+		if err := spec.Policy.Validate(); err != nil {
+			return err
+		}
+	}
 	_, err := s.pointFromVars(spec.Start)
 	return err
 }
@@ -112,7 +135,11 @@ func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj := &jobObjective{session: s, job: j}
+	// One engine for the whole search: the optimizer threads its incumbent
+	// through the jobObjective into the engine, which prunes, stages and
+	// memoizes according to the job's effective policy.
+	engine := s.engineFor(j, s.policyFor(spec.Policy))
+	obj := &jobObjective{session: s, job: j, engine: engine}
 	opts := s.cfg.Search
 	// Emit a SearchVisit per optimizer step, chaining (not replacing) an
 	// observer the session's configuration already carries.
@@ -128,6 +155,7 @@ func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 			Value:    v.Value,
 			Accepted: v.Accepted,
 			Improved: v.Improved,
+			Pruned:   v.Pruned,
 		})
 	}
 	var res *SearchResult
@@ -140,7 +168,13 @@ func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	best, err := s.estimateObserved(ctx, res.BestPoint, j)
+	// Re-estimate the best point through the same engine: with the cache
+	// enabled this is a free hit on the value the search already computed.
+	var best *SetEstimate
+	ev, err := engine.EvaluateF(ctx, res.BestPoint, math.Inf(1))
+	if ev != nil {
+		best = s.setEstimateFrom(res.BestPoint, ev)
+	}
 	if best == nil && err != nil {
 		// The search itself succeeded; return its result even if the final
 		// re-estimation was interrupted before producing anything.
@@ -149,22 +183,34 @@ func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 	return &JobResult{Search: &SearchOutcome{Method: method, Result: res, Best: best}}, nil
 }
 
-// jobObjective adapts the session's runner as the optimizer objective while
-// streaming each evaluation's sample progress into the job's event stream.
-// It forwards the runner's conflict-activity statistics, so the tabu
-// search's getNewCenter heuristic behaves exactly as with the bare runner.
+// jobObjective adapts the session's evaluation engine as the optimizer
+// objective while streaming each evaluation's sample progress into the
+// job's event stream.  It forwards the runner's conflict-activity
+// statistics, so the tabu search's getNewCenter heuristic behaves exactly
+// as with the bare runner, and implements eval.Evaluator so the searches
+// thread their incumbent into every evaluation.
 type jobObjective struct {
 	session *Session
 	job     *Job
+	engine  *eval.Engine
 }
 
-// Evaluate implements optimize.Objective.
+// Evaluate implements optimize.Objective (the searches prefer EvaluateF).
 func (o *jobObjective) Evaluate(ctx context.Context, p Point) (float64, error) {
-	pe, err := o.session.runner.EvaluatePointObserved(ctx, p, sampleObserver(o.job))
+	ev, err := o.EvaluateF(ctx, p, math.Inf(1))
 	if err != nil {
 		return 0, err
 	}
-	return pe.Estimate.Value, nil
+	return ev.Value, nil
+}
+
+// EvaluateF implements eval.Evaluator.
+func (o *jobObjective) EvaluateF(ctx context.Context, p Point, incumbent float64) (*eval.Evaluation, error) {
+	ev, err := o.engine.EvaluateF(ctx, p, incumbent)
+	if err != nil {
+		return nil, err
+	}
+	return ev, nil
 }
 
 // VarActivity implements optimize.ActivitySource.

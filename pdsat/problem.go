@@ -7,6 +7,7 @@ import (
 	"github.com/paper-repro/pdsat-go/internal/cnf"
 	"github.com/paper-repro/pdsat-go/internal/decomp"
 	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/eval"
 	"github.com/paper-repro/pdsat-go/internal/montecarlo"
 	"github.com/paper-repro/pdsat-go/internal/optimize"
 	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
@@ -83,6 +84,23 @@ type SolverOptions = solver.Options
 
 // Budget bounds the effort spent on a single subproblem.
 type Budget = solver.Budget
+
+// EvalPolicy configures the budget-aware evaluation engine: incumbent
+// pruning, staged adaptive sampling and the cross-search F-cache.  The zero
+// value disables all three and reproduces full-sample evaluations bit for
+// bit; DefaultEvalPolicy returns the recommended settings.  Set it on the
+// session (RunnerConfig.Policy) or per job (EstimateJob.Policy,
+// SearchJob.Policy).
+type EvalPolicy = eval.Policy
+
+// EvalCacheStats are the cross-search F-cache's hit/miss/size counters
+// (see Session.Stats).
+type EvalCacheStats = eval.CacheStats
+
+// DefaultEvalPolicy returns the recommended evaluation policy: pruning on,
+// three sample stages with a 10% relative-precision early stop at γ=0.95,
+// and the F-cache enabled.
+func DefaultEvalPolicy() EvalPolicy { return eval.DefaultPolicy() }
 
 // GeneratorConfig configures an on-the-fly cryptanalysis instance (see
 // FromGenerator): keystream length, number of known trailing state bits and

@@ -21,6 +21,9 @@ import (
 //	POST /v1/jobs/{id}/cancel  cancel a job
 //	DELETE /v1/jobs/{id}       evict a finished job (free its history)
 //	GET  /v1/problem           the served problem's metadata
+//	GET  /v1/stats             evaluation-engine counters (pruned
+//	                           evaluations, aborted subproblems, F-cache
+//	                           hits/misses)
 //
 // Jobs submitted over HTTP are bound to the session, not to the submitting
 // request: they keep running after the request returns and are cancelled
@@ -45,6 +48,7 @@ func NewServer(s *Session) *Server {
 	srv.mux.HandleFunc("POST /v1/jobs/{id}/cancel", srv.handleCancel)
 	srv.mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleDelete)
 	srv.mux.HandleFunc("GET /v1/problem", srv.handleProblem)
+	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	return srv
 }
 
@@ -59,16 +63,26 @@ type submitRequest struct {
 	Start          []Var   `json:"start"`
 	StopOnSat      bool    `json:"stop_on_sat"`
 	MaxSubproblems uint64  `json:"max_subproblems"`
+	// Policy optionally overrides the session's evaluation policy for
+	// estimate and search jobs, e.g.
+	// {"prune":true,"stages":3,"epsilon":0.1,"cache":true}.
+	Policy *EvalPolicy `json:"policy"`
 }
 
 // spec converts the request into the matching JobSpec.
 func (req submitRequest) spec() (JobSpec, error) {
 	switch req.Kind {
 	case JobEstimate:
-		return EstimateJob{Vars: req.Vars}, nil
+		return EstimateJob{Vars: req.Vars, Policy: req.Policy}, nil
 	case JobSearch:
-		return SearchJob{Method: req.Method, Start: req.Start}, nil
+		return SearchJob{Method: req.Method, Start: req.Start, Policy: req.Policy}, nil
 	case JobSolve:
+		if req.Policy != nil {
+			// Solving mode enumerates the whole family; the evaluation
+			// policy has nothing to apply to it.  Rejecting beats silently
+			// ignoring a knob the client clearly meant to set.
+			return nil, fmt.Errorf("solve jobs accept no evaluation policy (it applies to estimate and search jobs)")
+		}
 		return SolveJob{Vars: req.Vars, StopOnSat: req.StopOnSat, MaxSubproblems: req.MaxSubproblems}, nil
 	default:
 		return nil, fmt.Errorf("unknown job kind %q (want estimate, search or solve)", req.Kind)
@@ -170,6 +184,13 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStats reports the session's evaluation-engine counters: total and
+// pruned evaluations, solved and aborted subproblems, and the F-cache's
+// hit/miss statistics.
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, srv.session.Stats())
+}
+
 func (srv *Server) handleProblem(w http.ResponseWriter, r *http.Request) {
 	p := srv.session.Problem()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -214,14 +235,15 @@ type searchJSON struct {
 
 // solveJSON flattens a SolveReport for the wire.
 type solveJSON struct {
-	Vars           []Var         `json:"vars"`
-	Processed      int           `json:"processed"`
-	TotalCost      float64       `json:"total_cost"`
-	CostToFirstSat float64       `json:"cost_to_first_sat"`
-	FoundSat       bool          `json:"found_sat"`
-	SatIndex       int64         `json:"sat_index"`
-	WallTime       time.Duration `json:"wall_time_ns"`
-	Interrupted    bool          `json:"interrupted"`
+	Vars               []Var         `json:"vars"`
+	Processed          int           `json:"processed"`
+	SubproblemsAborted int           `json:"subproblems_aborted"`
+	TotalCost          float64       `json:"total_cost"`
+	CostToFirstSat     float64       `json:"cost_to_first_sat"`
+	FoundSat           bool          `json:"found_sat"`
+	SatIndex           int64         `json:"sat_index"`
+	WallTime           time.Duration `json:"wall_time_ns"`
+	Interrupted        bool          `json:"interrupted"`
 }
 
 // jobStatus renders a job's current state.
@@ -257,14 +279,15 @@ func jobStatus(j *Job) jobStatusJSON {
 		}
 		if result.Solve != nil {
 			st.Result.Solve = &solveJSON{
-				Vars:           result.Solve.Point.SortedVars(),
-				Processed:      result.Solve.Processed,
-				TotalCost:      result.Solve.TotalCost,
-				CostToFirstSat: result.Solve.CostToFirstSat,
-				FoundSat:       result.Solve.FoundSat,
-				SatIndex:       result.Solve.SatIndex,
-				WallTime:       result.Solve.WallTime,
-				Interrupted:    result.Solve.Interrupted,
+				Vars:               result.Solve.Point.SortedVars(),
+				Processed:          result.Solve.Processed,
+				SubproblemsAborted: result.Solve.SubproblemsAborted,
+				TotalCost:          result.Solve.TotalCost,
+				CostToFirstSat:     result.Solve.CostToFirstSat,
+				FoundSat:           result.Solve.FoundSat,
+				SatIndex:           result.Solve.SatIndex,
+				WallTime:           result.Solve.WallTime,
+				Interrupted:        result.Solve.Interrupted,
 			}
 		}
 	}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"github.com/paper-repro/pdsat-go/internal/decomp"
 	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/eval"
 	"github.com/paper-repro/pdsat-go/internal/montecarlo"
 	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
 	"github.com/paper-repro/pdsat-go/internal/solver"
@@ -50,6 +52,12 @@ type Session struct {
 	runner  *runner.Runner
 	cfg     Config
 	space   *decomp.Space
+	// fcache is the cross-search F-memoization cache: one per session, so
+	// every search and job on the same Problem+Config hits the others'
+	// finished evaluations.  Engines attach it only when their effective
+	// policy has Cache enabled; it always exists so a per-job policy
+	// override can opt in even when the session default has it off.
+	fcache *eval.Cache
 
 	mu     sync.Mutex
 	jobs   []*Job
@@ -80,6 +88,7 @@ func NewSession(p *Problem, cfg Config) (*Session, error) {
 		runner:  runner.NewRunner(p.Formula, cfg.Runner),
 		cfg:     cfg,
 		space:   decomp.NewSpace(p.StartSet),
+		fcache:  eval.NewCache(),
 		byID:    make(map[string]*Job),
 	}, nil
 }
@@ -215,24 +224,128 @@ type SetEstimate struct {
 	// full sample was processed; the estimate is then partial (computed
 	// from the subproblems that did complete).
 	Interrupted bool `json:"interrupted"`
+	// EarlyStopped reports that the evaluation policy's staged sampling
+	// stopped before the full sample because the eq.-3 confidence
+	// half-width met the ε target; the estimate remains unbiased, just
+	// over fewer samples.
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+	// CacheHit reports that the estimate was served from the session's
+	// cross-search F-cache without solving anything (WallTime is then the
+	// original evaluation's).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// SamplesPlanned is the configured sample size N; Estimate.SampleSize
+	// is the number actually solved; SamplesAborted counts subproblems cut
+	// short by a batch abort or cancellation.
+	SamplesPlanned int `json:"samples_planned,omitempty"`
+	SamplesAborted int `json:"samples_aborted,omitempty"`
 }
 
-// estimateObserved runs one observed predictive-function evaluation for a
-// job (j may be nil for unobserved internal use).
-func (s *Session) estimateObserved(ctx context.Context, p Point, j *Job) (*SetEstimate, error) {
-	pe, err := s.runner.EvaluatePointObserved(ctx, p, sampleObserver(j))
+// policyFor resolves a job spec's optional policy override against the
+// session default (the runner configuration's policy).
+func (s *Session) policyFor(override *EvalPolicy) EvalPolicy {
+	if override != nil {
+		return *override
+	}
+	return s.cfg.Runner.Policy
+}
+
+// sessionBackend adapts the runner as an eval.Backend while streaming each
+// evaluation's sample progress into a job's event stream.
+type sessionBackend struct {
+	s *Session
+	j *Job
+}
+
+// EvaluateBudgeted implements eval.Backend.
+func (b sessionBackend) EvaluateBudgeted(ctx context.Context, p Point, pol EvalPolicy, incumbent float64) (*eval.Evaluation, error) {
+	pe, err := b.s.runner.EvaluatePointBudgeted(ctx, p, pol, incumbent, sampleObserver(b.j))
 	if pe == nil {
 		return nil, err
 	}
+	ev := pe.Evaluation()
+	return &ev, err
+}
+
+// engineFor builds the budget-aware evaluation engine for one job: the
+// session's runner as backend, the session's shared F-cache (when the
+// policy enables it), and pruning/cache-hit notifications wired into the
+// job's event stream.
+func (s *Session) engineFor(j *Job, pol EvalPolicy) *eval.Engine {
+	eng := eval.NewEngine(sessionBackend{s: s, j: j}, pol, s.fcache)
+	if j != nil {
+		eng.OnPruned = func(p Point, ev eval.Evaluation) {
+			j.emit(EvalPruned{
+				Job:            j.id,
+				Vars:           p.SortedVars(),
+				LowerBound:     ev.LowerBound,
+				Incumbent:      ev.Incumbent,
+				SamplesSolved:  ev.SamplesSolved,
+				SamplesPlanned: ev.SamplesPlanned,
+			})
+		}
+		eng.OnCacheHit = func(p Point, ev eval.Evaluation) {
+			j.emit(CacheHit{Job: j.id, Vars: p.SortedVars(), Value: ev.Value, Pruned: ev.Pruned})
+		}
+	}
+	return eng
+}
+
+// setEstimateFrom renders an engine evaluation as a SetEstimate.
+func (s *Session) setEstimateFrom(p Point, ev *eval.Evaluation) *SetEstimate {
 	return &SetEstimate{
 		Vars:               p.SortedVars(),
-		Estimate:           pe.Estimate,
-		PerCores:           montecarlo.ExtrapolateCores(pe.Estimate.Value, s.cfg.Cores),
+		Estimate:           ev.Estimate,
+		PerCores:           montecarlo.ExtrapolateCores(ev.Estimate.Value, s.cfg.Cores),
 		Cores:              s.cfg.Cores,
-		SatisfiableSamples: pe.SatisfiableSamples,
-		WallTime:           pe.WallTime,
-		Interrupted:        pe.Interrupted,
-	}, err
+		SatisfiableSamples: ev.SatisfiableSamples,
+		WallTime:           ev.WallTime,
+		Interrupted:        ev.Interrupted,
+		EarlyStopped:       ev.EarlyStopped,
+		CacheHit:           ev.CacheHit,
+		SamplesPlanned:     ev.SamplesPlanned,
+		SamplesAborted:     ev.SamplesAborted,
+	}
+}
+
+// estimateObserved runs one observed predictive-function evaluation for a
+// job (j may be nil for unobserved internal use) under the given policy.
+// Estimations have no incumbent, so staging and the cache apply but pruning
+// never triggers.
+func (s *Session) estimateObserved(ctx context.Context, p Point, j *Job, pol EvalPolicy) (*SetEstimate, error) {
+	ev, err := s.engineFor(j, pol).EvaluateF(ctx, p, math.Inf(1))
+	if ev == nil {
+		return nil, err
+	}
+	return s.setEstimateFrom(p, ev), err
+}
+
+// SessionStats aggregates the session's evaluation-engine counters: how
+// much solving the predictive-function evaluations cost so far and how much
+// the policy mechanisms saved.
+type SessionStats struct {
+	// Evaluations counts predictive-function evaluations (full, pruned and
+	// partial alike); PrunedEvaluations the subset aborted by incumbent
+	// pruning.
+	Evaluations       int `json:"evaluations"`
+	PrunedEvaluations int `json:"pruned_evaluations"`
+	// SubproblemsSolved counts subproblems solved to completion across all
+	// jobs; SubproblemsAborted those cut short by batch aborts or
+	// cancellations.
+	SubproblemsSolved  int `json:"subproblems_solved"`
+	SubproblemsAborted int `json:"subproblems_aborted"`
+	// Cache is the cross-search F-cache's hit/miss/size counters.
+	Cache eval.CacheStats `json:"cache"`
+}
+
+// Stats returns a snapshot of the session's evaluation-engine counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Evaluations:        s.runner.Evaluations(),
+		PrunedEvaluations:  s.runner.PrunedEvaluations(),
+		SubproblemsSolved:  s.runner.SubproblemsSolved(),
+		SubproblemsAborted: s.runner.SubproblemsAborted(),
+		Cache:              s.fcache.Stats(),
+	}
 }
 
 // maxSampleEvents bounds the SampleProgress notifications emitted per
