@@ -15,6 +15,7 @@ package pdsatgo_test
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -310,6 +311,129 @@ func BenchmarkEvalPolicyBiviumTabu(b *testing.B) {
 		b.ReportMetric(bestOn, "bestF")
 	}
 }
+
+// BenchmarkFleetBiviumTabu measures the search-fleet coupling (PR 5) on a
+// weakened-Bivium instance: the same four fixed-sub-seed searches (tabu:2,
+// sa:2, default evaluation policy) run once sequentially with isolated
+// incumbents and per-search F-caches, and once as a concurrent fleet
+// sharing one incumbent and one cache over a single runner.  The headline
+// metrics are the solved-subproblem totals and the reduction; the
+// acceptance bar — which the benchmark enforces — is that the shared-
+// incumbent fleet solves at least 10% fewer subproblems than the isolated
+// sequential baseline.
+func BenchmarkFleetBiviumTabu(b *testing.B) {
+	inst, err := encoder.NewInstance(encoder.Bivium(), encoder.Config{
+		KeystreamLen: 200,
+		KnownSuffix:  160,
+		Seed:         7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	const (
+		root    = int64(3)
+		members = 4
+		evals   = 15
+		sample  = 30
+	)
+	pol := eval.DefaultPolicy()
+	method := func(i int) string {
+		if i >= members/2 {
+			return optimize.MethodSA
+		}
+		return optimize.MethodTabu
+	}
+	newRunner := func(seed int64) *pdsat.Runner {
+		return pdsat.NewRunner(inst.CNF, pdsat.Config{
+			SampleSize: sample,
+			Seed:       seed,
+			CostMetric: solver.CostPropagations,
+		})
+	}
+
+	runSequential := func() int {
+		total := 0
+		for i := 0; i < members; i++ {
+			r := newRunner(optimize.SubSeed(root, 3*i))
+			eng := eval.NewEngine(r, pol, eval.NewCache()) // isolated cache
+			obj := &fleetBenchObjective{engine: eng, activity: r.VarActivity}
+			var err error
+			switch method(i) {
+			case optimize.MethodSA:
+				_, err = optimize.SimulatedAnnealing(context.Background(), obj, space.FullPoint(),
+					optimize.Options{Seed: optimize.SubSeed(root, 3*i+1), MaxEvaluations: evals})
+			default:
+				_, err = optimize.TabuSearch(context.Background(), obj, space.FullPoint(),
+					optimize.Options{Seed: optimize.SubSeed(root, 3*i+1), MaxEvaluations: evals})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r.SubproblemsSolved()
+		}
+		return total
+	}
+
+	runFleet := func() int {
+		r := newRunner(1)
+		cache := eval.NewCache() // shared across the whole fleet
+		fleet := make([]optimize.FleetMember, members)
+		for i := 0; i < members; i++ {
+			scope := r.NewScope(optimize.SubSeed(root, 3*i))
+			eng := eval.NewEngine(scope, pol, cache)
+			fleet[i] = optimize.FleetMember{
+				Method:    method(i),
+				Objective: &fleetBenchObjective{engine: eng, activity: scope.VarActivity},
+				Start:     space.FullPoint(),
+				Opts:      optimize.Options{Seed: optimize.SubSeed(root, 3*i+1), MaxEvaluations: evals},
+			}
+		}
+		fr, err := optimize.RunFleet(context.Background(), fleet, optimize.FleetOptions{KeepRacing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Best < 0 {
+			b.Fatal("fleet found no best point")
+		}
+		return r.SubproblemsSolved()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sequential := runSequential()
+		shared := runFleet()
+		reduction := 100 * (1 - float64(shared)/float64(sequential))
+		if reduction < 10 {
+			b.Fatalf("shared-incumbent fleet saved only %.1f%% of subproblems over the isolated sequential baseline (acceptance bar: 10%%): %d vs %d",
+				reduction, shared, sequential)
+		}
+		b.ReportMetric(float64(sequential), "subproblems_sequential")
+		b.ReportMetric(float64(shared), "subproblems_fleet")
+		b.ReportMetric(reduction, "fleet_reduction_%")
+	}
+}
+
+// fleetBenchObjective adapts an evaluation engine plus an activity source
+// as an optimizer objective for the fleet benchmark.
+type fleetBenchObjective struct {
+	engine   *eval.Engine
+	activity func(cnf.Var) float64
+}
+
+func (o *fleetBenchObjective) Evaluate(ctx context.Context, p decomp.Point) (float64, error) {
+	ev, err := o.engine.EvaluateF(ctx, p, math.Inf(1))
+	if err != nil {
+		return 0, err
+	}
+	return ev.Value, nil
+}
+
+func (o *fleetBenchObjective) EvaluateF(ctx context.Context, p decomp.Point, incumbent float64) (*eval.Evaluation, error) {
+	return o.engine.EvaluateF(ctx, p, incumbent)
+}
+
+func (o *fleetBenchObjective) VarActivity(v cnf.Var) float64 { return o.activity(v) }
 
 // --- substrate micro-benchmarks -----------------------------------------
 

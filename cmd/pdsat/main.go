@@ -60,6 +60,10 @@ func run() error {
 		startList  = flag.String("start", "", "comma-separated start-set variables (required with -cnf)")
 		setList    = flag.String("set", "", "explicit decomposition set (comma-separated variables); default: the start set")
 		method     = flag.String("method", "tabu", "search method: sa or tabu")
+		fleetSpec  = flag.String("fleet", "", `race a fleet of concurrent searches over one cluster, e.g. "tabu:4,sa:4" (implies -mode search; -evaluations is the fleet-total budget, split fairly)`)
+		targetF    = flag.Float64("target-f", 0, "with -fleet, stop the whole race once a member certifies a best F at or below this (0 = disabled)")
+		jitter     = flag.Int("jitter", 0, "with -fleet, flip this many deterministically seeded start-set bits per member (member 0 keeps the canonical start)")
+		keepRacing = flag.Bool("keep-racing", false, "with -fleet, keep the remaining members running after one exhausts its space or hits -target-f")
 		samples    = flag.Int("samples", 200, "Monte Carlo sample size N")
 		evals      = flag.Int("evaluations", 50, "maximum predictive-function evaluations during search")
 		workers    = flag.Int("workers", 0, "computing processes (0 = all CPUs)")
@@ -187,6 +191,17 @@ func run() error {
 		return runServe(ctx, session, *serve)
 	}
 
+	if *fleetSpec != "" {
+		return runFleet(ctx, session, fleetFlags{
+			spec:       *fleetSpec,
+			seed:       *seed,
+			evals:      *evals,
+			targetF:    *targetF,
+			jitter:     *jitter,
+			keepRacing: *keepRacing,
+		}, costMetric)
+	}
+
 	switch *mode {
 	case "estimate":
 		return runEstimate(ctx, session, vars, costMetric)
@@ -197,6 +212,73 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// fleetFlags carries the fleet-mode command line.
+type fleetFlags struct {
+	spec       string
+	seed       int64
+	evals      int
+	targetF    float64
+	jitter     int
+	keepRacing bool
+}
+
+// runFleet races a fleet of concurrent searches and prints a per-member
+// summary table plus the winner's estimate.
+func runFleet(ctx context.Context, session *pdsat.Session, f fleetFlags, metric solver.CostMetric) error {
+	members, err := pdsat.ParseFleet(f.spec)
+	if err != nil {
+		return err
+	}
+	outcome, err := session.SearchFleet(ctx, pdsat.FleetJob{
+		Members:        members,
+		Seed:           f.seed,
+		Jitter:         f.jitter,
+		TargetF:        f.targetF,
+		MaxEvaluations: f.evals,
+		KeepRacing:     f.keepRacing,
+	})
+	if outcome == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Printf("fleet ended with error: %v\n", err)
+	}
+	fmt.Printf("fleet of %d member(s), root seed %d, wall time %v\n",
+		len(outcome.Members), outcome.Seed, outcome.WallTime.Round(time.Millisecond))
+	fmt.Printf("%-7s %-20s %-6s %7s %14s  %s\n",
+		"member", "method", "|set|", "evals", "best F", "stop")
+	for _, m := range outcome.Members {
+		if m.Err != "" {
+			fmt.Printf("%-7d %-20s %s\n", m.Member, m.Method, "error: "+m.Err)
+			continue
+		}
+		if m.Result == nil {
+			continue
+		}
+		marker := ""
+		if m.Member == outcome.BestMember {
+			marker = "  <- winner"
+		}
+		fmt.Printf("%-7d %-20s %-6d %7d %14.6g  %s%s\n",
+			m.Member, m.Method, m.Result.BestPoint.Count(), m.Result.Evaluations,
+			m.Result.BestValue, m.Result.Stop, marker)
+	}
+	if outcome.BestMember >= 0 {
+		fmt.Printf("best set            %s\n", varsString(outcome.BestVars))
+		if outcome.Best != nil {
+			printEstimate("winner estimate", outcome.Best, metric)
+		}
+	} else {
+		fmt.Println("no member produced a best set")
+	}
+	if stats := session.Stats(); stats.PrunedEvaluations > 0 || stats.Cache.Hits+stats.Cache.Misses > 0 {
+		fmt.Printf("evaluation engine   %d evaluations (%d pruned), %d subproblems solved, %d aborted, F-cache %d/%d hits\n",
+			stats.Evaluations, stats.PrunedEvaluations, stats.SubproblemsSolved, stats.SubproblemsAborted,
+			stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses)
+	}
+	return nil
 }
 
 // runServe exposes the session's job API over HTTP until the context is

@@ -14,9 +14,12 @@
 //
 // The public, importable surface is the top-level pdsat package
 // (github.com/paper-repro/pdsat-go/pdsat): Problems, Sessions and
-// asynchronous jobs (EstimateJob, SearchJob, SolveJob) with typed
+// asynchronous jobs (EstimateJob, SearchJob, FleetJob, SolveJob) with typed
 // progress-event streams, plus an HTTP/JSON job server (cmd/pdsat -serve).
-// See that package's documentation for the job/event model.
+// FleetJob races several searches concurrently over one runner/cluster,
+// coupled through a shared incumbent and the session F-cache (cmd/pdsat
+// -fleet "tabu:4,sa:4").  See that package's documentation for the
+// job/event model and the sub-seed reproducibility rule.
 //
 // The substrate lives in internal/ packages, layered bottom-up:
 //
@@ -27,7 +30,8 @@
 //     reusable sessions (pristine Reset / incremental reuse)
 //   - decomp, montecarlo, optimize: decomposition families, the predictive
 //     function and its confidence intervals, simulated annealing and tabu
-//     search
+//     search, and the fleet orchestrator racing several searches over one
+//     shared incumbent
 //   - eval: the budget-aware evaluation engine — incumbent pruning of
 //     hopeless candidates, staged adaptive sampling sized by the eq.-3
 //     confidence interval, and the cross-search F-memoization cache

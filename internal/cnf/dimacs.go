@@ -9,6 +9,10 @@ import (
 	"strings"
 )
 
+// minInt is the most negative int, the one literal value whose negation
+// overflows (see ParseDIMACS).
+const minInt = -1 << (strconv.IntSize - 1)
+
 // ParseDIMACS reads a CNF formula in DIMACS format from r.
 //
 // The parser is tolerant: the problem line ("p cnf <vars> <clauses>") is
@@ -38,8 +42,11 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
 			}
 			v, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", lineNo, err)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			if c, err := strconv.Atoi(fields[3]); err != nil || c < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count %q", lineNo, fields[3])
 			}
 			declaredVars = v
 			continue
@@ -56,6 +63,12 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				f.AddClause(current)
 				current = nil
 				continue
+			}
+			// The most negative int has no positive counterpart: Lit(n).Var()
+			// would overflow to a negative variable, breaking the "variables
+			// are numbered from 1" invariant every consumer relies on.
+			if n == minInt {
+				return nil, fmt.Errorf("cnf: line %d: literal %q out of range", lineNo, tok)
 			}
 			current = append(current, Lit(n))
 		}

@@ -1,0 +1,95 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS throws arbitrary bytes at the tolerant DIMACS parser and
+// checks its invariants: no panic, every accepted literal names a variable
+// ≥ 1 within NumVars, and an accepted formula survives a DIMACS round trip
+// with identical shape.
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"p cnf 3 2\n1 -2 0\n2 3 0\n",
+		"c a comment\np cnf 2 1\n1 2 0\n",
+		"1 -2 3 0\n-1 0",                 // no problem line, trailing clause without 0
+		"p cnf 5 1\n1\n2\n-3 0\n",        // clause spanning lines
+		"p cnf 2 1\n1 2 0\n%\n0\n",       // benchmark-style % terminator
+		"p cnf -3 1\n1 0\n",              // malformed header: negative count
+		"p cnf 3 x\n1 0\n",               // malformed header: non-numeric count
+		"p cnf 3\n",                      // truncated problem line
+		"1 2 9999999999999999999999 0\n", // literal overflowing int
+		"1 -9223372036854775808 0\n",     // literal whose negation overflows
+		"c only a comment\n",
+		"",
+		"p cnf 0 0\n",
+		"  1   -1  0  \n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseDIMACSString(input)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if formula.NumVars < 0 {
+			t.Fatalf("accepted formula with negative NumVars %d", formula.NumVars)
+		}
+		for ci, c := range formula.Clauses {
+			for _, l := range c {
+				if l == 0 {
+					t.Fatalf("clause %d contains the invalid literal 0", ci)
+				}
+				if v := l.Var(); v < 1 || int(v) > formula.NumVars {
+					t.Fatalf("clause %d literal %d names variable %d outside 1..%d",
+						ci, int(l), v, formula.NumVars)
+				}
+			}
+		}
+		// Round trip: writing and reparsing must preserve the shape.  Guard
+		// against absurd declared headers blowing the rendering up.
+		if formula.NumVars > 1<<20 || formula.NumClauses() > 1<<16 {
+			return
+		}
+		again, err := ParseDIMACSString(formula.DIMACSString())
+		if err != nil {
+			t.Fatalf("round trip failed to reparse: %v", err)
+		}
+		if again.NumVars != formula.NumVars || again.NumClauses() != formula.NumClauses() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d vars/clauses",
+				again.NumVars, again.NumClauses(), formula.NumVars, formula.NumClauses())
+		}
+		for ci := range formula.Clauses {
+			if len(again.Clauses[ci]) != len(formula.Clauses[ci]) {
+				t.Fatalf("round trip changed clause %d length", ci)
+			}
+			for li := range formula.Clauses[ci] {
+				if again.Clauses[ci][li] != formula.Clauses[ci][li] {
+					t.Fatalf("round trip changed clause %d literal %d", ci, li)
+				}
+			}
+		}
+	})
+}
+
+// TestParseDIMACSRejectsOverflowLiteral pins the fuzz-hardening fixes as
+// plain regressions: the most negative literal and negative header counts
+// are rejected instead of smuggling invalid variables into the formula.
+func TestParseDIMACSRejectsOverflowLiteral(t *testing.T) {
+	if _, err := ParseDIMACSString("1 -9223372036854775808 0\n"); err == nil {
+		t.Fatal("literal -2^63 accepted")
+	}
+	if _, err := ParseDIMACSString("p cnf -3 1\n1 0\n"); err == nil {
+		t.Fatal("negative declared variable count accepted")
+	}
+	if _, err := ParseDIMACSString("p cnf 3 -1\n1 0\n"); err == nil {
+		t.Fatal("negative declared clause count accepted")
+	}
+	if !strings.Contains(func() string {
+		_, err := ParseDIMACSString("1 -9223372036854775808 0\n")
+		return err.Error()
+	}(), "out of range") {
+		t.Fatal("overflow literal error message does not explain the rejection")
+	}
+}

@@ -89,6 +89,38 @@ type Options struct {
 	// Observation never changes the search itself: the visits are the
 	// same ones that end up in Result.Trace.
 	Observer func(Visit)
+
+	// TargetValue, when positive, ends the search as soon as its best value
+	// reaches the target or below (StopTarget).  Fleet races use it for the
+	// fleet-wide early stop; zero disables the check and leaves every other
+	// code path untouched.
+	TargetValue float64
+
+	// Shared couples the search into a fleet of concurrent searches racing
+	// over the same space: Best() tightens the incumbent threaded into
+	// every evaluation (enabling cross-search incumbent pruning), and the
+	// search Offers each update of its own best value.  For a fleet of one
+	// the shared incumbent always equals the search's own best, so the run
+	// is bit-identical to an uncoupled search.  Nil means uncoupled.
+	//
+	// With a foreign (lower) incumbent in play, a pruned evaluation's lower
+	// bound may undercut the search's own best value; pruned visits are
+	// therefore never counted as improvements — the bound proves the point
+	// worse than the fleet's best, which is all a minimizer needs to know.
+	Shared SharedIncumbent
+}
+
+// SharedIncumbent is the coupling point of a search fleet: a global,
+// monotonically decreasing bound on the best certified F value any coupled
+// search has found.  Implementations must be safe for concurrent use; see
+// Incumbent.
+type SharedIncumbent interface {
+	// Best returns the lowest certified F value offered so far (+Inf if
+	// none).
+	Best() float64
+	// Offer publishes a full-estimate best value found by this search,
+	// returning true if it improved the shared incumbent.
+	Offer(p decomp.Point, v float64) bool
 }
 
 // Validate reports whether the options are usable.  Zero values are fine —
@@ -122,6 +154,9 @@ func (o Options) Validate() error {
 	if o.CoolingFactor < 0 || o.CoolingFactor >= 1 {
 		return fmt.Errorf("optimize: cooling factor %v outside (0,1) (use 0 for the default of %v)",
 			o.CoolingFactor, DefaultOptions().CoolingFactor)
+	}
+	if o.TargetValue < 0 || math.IsNaN(o.TargetValue) {
+		return fmt.Errorf("optimize: invalid target value %v (use 0 to disable the target stop)", o.TargetValue)
 	}
 	return nil
 }
@@ -171,6 +206,7 @@ const (
 	StopExhausted    StopReason = "search space exhausted"
 	StopContext      StopReason = "context cancelled"
 	StopNoImprovment StopReason = "no unchecked points"
+	StopTarget       StopReason = "target value reached"
 )
 
 // Visit records one objective evaluation.
@@ -267,6 +303,17 @@ func (s *search) evaluate(ctx context.Context, p decomp.Point, incumbent float64
 	if err := s.checkBudgets(ctx); err != nil {
 		return 0, false, false, err
 	}
+	if s.opts.Shared != nil && !math.IsInf(incumbent, 1) {
+		// A coupled search prunes against the whole fleet's best, not just
+		// its own; the fleet incumbent is never above this search's (the
+		// search offers every update of its own best value).  The start
+		// evaluation (incumbent +Inf) stays uncoupled on purpose: pruning
+		// it against a foreign incumbent would leave the search without a
+		// certified best value of its own.
+		if g := s.opts.Shared.Best(); g < incumbent {
+			incumbent = g
+		}
+	}
 	var v float64
 	var pruned bool
 	var err error
@@ -314,6 +361,25 @@ func (s *search) checkBudgets(ctx context.Context) error {
 		return errStop
 	}
 	return nil
+}
+
+// offerBest publishes an update of the search's own best value to the
+// fleet's shared incumbent (a no-op for uncoupled searches).  Only full
+// estimates reach it: best values never hold pruned lower bounds.
+func (s *search) offerBest(p decomp.Point, v float64) {
+	if s.opts.Shared != nil {
+		s.opts.Shared.Offer(p, v)
+	}
+}
+
+// targetReached records StopTarget when the best value is at or below a
+// configured positive target.
+func (s *search) targetReached(bestValue float64) bool {
+	if s.opts.TargetValue > 0 && bestValue <= s.opts.TargetValue {
+		s.stopped = StopTarget
+		return true
+	}
+	return false
 }
 
 func (s *search) record(p decomp.Point, value float64, accepted, improved, pruned bool) {
@@ -381,6 +447,10 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 	}
 	s.record(start, centerValue, true, true, false)
 	center, best, bestValue := start, start, centerValue
+	s.offerBest(best, bestValue)
+	if s.targetReached(bestValue) {
+		return s.result(best, bestValue), nil
+	}
 
 	temperature := opts.InitialTemperature
 	if temperature <= 0 {
@@ -430,12 +500,19 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 			checked[chi.Key()] = true
 
 			accepted := s.pointAccepted(value, centerValue, temperature)
-			improved := value < bestValue
+			// A pruned value is a lower bound proving the point worse than
+			// the fleet incumbent, never a new best (without a fleet the
+			// bound exceeds bestValue anyway, so the guard changes nothing).
+			improved := value < bestValue && !prunedEval
 			s.record(chi, value, accepted, improved, prunedEval)
 			if accepted {
 				center, centerValue = chi, value
 				if improved {
 					best, bestValue = chi, value
+					s.offerBest(best, bestValue)
+					if s.targetReached(bestValue) {
+						return s.result(best, bestValue), nil
+					}
 				}
 				bestValueUpdated = true
 			}
@@ -506,6 +583,10 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 	tl.addChecked(start, startValue, s.values)
 
 	center, best, bestValue := start, start, startValue
+	s.offerBest(best, bestValue)
+	if s.targetReached(bestValue) {
+		return s.result(best, bestValue), nil
+	}
 
 	for {
 		if err := s.checkBudgets(ctx); err != nil {
@@ -532,10 +613,16 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 			if fresh {
 				tl.addChecked(chi, value, s.values)
 			}
-			improved := value < bestValue
+			// Pruned lower bounds never become the best value (see the SA
+			// loop for the fleet rationale; uncoupled runs are unaffected).
+			improved := value < bestValue && !prunedEval
 			s.record(chi, value, improved, improved, prunedEval)
 			if improved {
 				best, bestValue = chi, value
+				s.offerBest(best, bestValue)
+				if s.targetReached(bestValue) {
+					return s.result(best, bestValue), nil
+				}
 				bestValueUpdated = true
 			}
 			if err := s.checkBudgets(ctx); err != nil {

@@ -42,7 +42,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -144,6 +143,11 @@ type Runner struct {
 	// configuration surfaces on the first evaluation instead of panicking
 	// or hanging.
 	cfgErr error
+	// def is the runner's default evaluation scope (seeded with Config.Seed);
+	// the Evaluate* methods below delegate to it.  Fleet members instead
+	// evaluate through their own NewScope, sharing the transport but not the
+	// sampling state.
+	def *Scope
 
 	mu sync.Mutex
 	// confAct accumulates per-variable conflict activity over every
@@ -184,13 +188,15 @@ func NewRunner(f *cnf.Formula, cfg Config) *Runner {
 	if transport == nil {
 		transport = cluster.NewInproc(f, cfg.Workers, cfg.SolverOptions)
 	}
-	return &Runner{
+	r := &Runner{
 		formula:   f,
 		cfg:       cfg,
 		transport: transport,
 		cfgErr:    cfgErr,
 		confAct:   make([]float64, f.NumVars+1),
 	}
+	r.def = r.NewScope(cfg.Seed)
+	return r
 }
 
 // Formula returns the underlying formula.
@@ -409,182 +415,11 @@ func (r *Runner) EvaluatePointObserved(ctx context.Context, p decomp.Point, obse
 // is bit-identical to the historical EvaluatePoint.  Cancellation semantics
 // are unchanged: a cancelled evaluation returns the partial estimate
 // (marked Interrupted) together with the context's error.
+// The evaluation runs in the runner's default scope, whose seed is
+// Config.Seed and whose evaluation counter is the runner's; see Scope for
+// isolated per-search contexts on the same transport.
 func (r *Runner) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, observe func(Progress)) (*PointEstimate, error) {
-	if r.cfgErr != nil {
-		return nil, r.cfgErr
-	}
-	if err := pol.Validate(); err != nil {
-		return nil, err
-	}
-	if p.Count() == 0 {
-		return nil, errors.New("pdsat: empty decomposition set")
-	}
-	start := time.Now()
-	r.mu.Lock()
-	evalIndex := r.evaluations
-	r.evaluations++
-	r.mu.Unlock()
-
-	fam := decomp.FamilyOf(r.formula, p)
-	// Derive a per-evaluation RNG so evaluation results do not depend on the
-	// order in which the optimizer visits points.
-	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(evalIndex)*0x5851f42d4c957f2d))
-	d := fam.Dimension()
-	n := r.cfg.SampleSize
-	scale := math.Exp2(float64(d))
-
-	tasks := make([]cluster.Task, n)
-	for i := 0; i < n; i++ {
-		alpha := fam.RandomAssignment(rng)
-		assumptions, err := fam.AssumptionsForBits(alpha)
-		if err != nil {
-			return nil, err
-		}
-		tasks[i] = cluster.Task{Index: i, Assumptions: assumptions}
-	}
-
-	prune := pol.Prune && !math.IsInf(incumbent, 1) && !math.IsNaN(incumbent)
-	// sumBound is the incumbent translated onto the plain cost sum:
-	// 2^d·(Σζ)/N > incumbent  ⇔  Σζ > incumbent·N/2^d.
-	sumBound := math.Inf(1)
-	if prune {
-		sumBound = incumbent * float64(n) / scale
-	}
-
-	// The stage observer runs on the batch collection path (a single
-	// goroutine whose calls complete before the batch call returns), so the
-	// running totals need no locking.
-	var (
-		sumAll  float64 // every observed cost, truncated solves included
-		done    int     // Progress numbering across stages
-		aborted bool
-		abortCh = make(chan struct{})
-	)
-	stageObserver := func(globalOffset int) func(cluster.TaskResult) {
-		return func(res cluster.TaskResult) {
-			res.Index += globalOffset
-			if res.Started {
-				sumAll += res.Cost
-			}
-			done++
-			if observe != nil {
-				observe(Progress{Done: done, Total: n, Result: res})
-			}
-			if prune && !aborted && sumAll > sumBound {
-				aborted = true
-				close(abortCh)
-			}
-		}
-	}
-
-	var (
-		costs        []float64 // completed samples, enumeration order
-		satCount     int
-		collected    int // results gathered over all dispatched stages
-		pruned       bool
-		earlyStopped bool
-		stagesRun    int
-		runErr       error
-	)
-	next := 0
-	for _, end := range eval.StagePlan(n, pol.Stages) {
-		begin := next
-		next = end
-		if prune && sumAll > sumBound {
-			pruned = true
-			break
-		}
-		if earlyStopped {
-			break
-		}
-		opts := cluster.BatchOptions{
-			Budget:     r.cfg.SubproblemBudget,
-			CostMetric: r.cfg.CostMetric,
-		}
-		if prune {
-			// Per-stage budget: no single task may cost more than what is
-			// left before the sum certifiably crosses the bound.
-			opts.Budget = opts.Budget.TightenedBy(
-				solver.BudgetForCost(r.cfg.CostMetric, sumBound-sumAll))
-		}
-		sub := make([]cluster.Task, end-begin)
-		for j := range sub {
-			sub[j] = cluster.Task{Index: j, Assumptions: tasks[begin+j].Assumptions}
-		}
-		var abort <-chan struct{}
-		if prune {
-			abort = abortCh
-		}
-		results, err := r.runBatch(ctx, sub, opts, stageObserver(begin), abort)
-		if err != nil && !cluster.IsInterruption(err) {
-			return nil, err
-		}
-		stagesRun++
-		collected += len(results)
-		// Completed samples in enumeration order, for deterministic
-		// float summation regardless of scheduling.
-		ordered := make([]*cluster.TaskResult, len(sub))
-		for i := range results {
-			if idx := results[i].Index; idx >= 0 && idx < len(ordered) {
-				ordered[idx] = &results[i]
-			}
-		}
-		for _, res := range ordered {
-			if res == nil || !res.Started || res.Cancelled {
-				continue
-			}
-			costs = append(costs, res.Cost)
-			if res.Status == solver.Sat {
-				satCount++
-			}
-		}
-		r.absorbActivities(results)
-		if err != nil {
-			runErr = err
-			break
-		}
-		if prune && (aborted || sumAll > sumBound) {
-			pruned = true
-			break
-		}
-		if next < n && len(costs) >= 2 {
-			s := montecarlo.NewSample(costs)
-			if eval.Confident(s.Mean(), s.StdDev(), s.Len(), pol.EffectiveGamma(), pol.Epsilon) {
-				earlyStopped = true
-			}
-		}
-	}
-
-	if pruned {
-		r.mu.Lock()
-		r.prunedEvaluations++
-		r.mu.Unlock()
-	}
-	if runErr != nil && len(costs) == 0 {
-		return nil, runErr
-	}
-	// Partial evaluations (interrupted or pruned) keep only subproblems a
-	// solver ran to its normal conclusion (or per-task budget) as samples —
-	// a solve truncated by the cancellation/abort itself undercounts its
-	// subproblem outright.  An interrupted subset is completion-time
-	// censored (in-flight subproblems skew expensive), so a partial F is an
-	// indication, not an unbiased estimate; see PointEstimate.Interrupted.
-	sample := montecarlo.NewSample(costs)
-	est := montecarlo.NewEstimate(d, sample)
-	return &PointEstimate{
-		Point:              p,
-		Estimate:           est,
-		Sample:             sample,
-		SatisfiableSamples: satCount,
-		WallTime:           time.Since(start),
-		Interrupted:        runErr != nil,
-		Pruned:             pruned,
-		EarlyStopped:       earlyStopped,
-		SamplesPlanned:     n,
-		SamplesAborted:     collected - sample.Len(),
-		StagesRun:          stagesRun,
-		LowerBound:         scale * sumAll / float64(n),
-	}, runErr
+	return r.def.EvaluatePointBudgeted(ctx, p, pol, incumbent, observe)
 }
 
 // Evaluate implements the optimizer objective: it returns the predictive
@@ -623,24 +458,32 @@ func (r *Runner) EvaluateF(ctx context.Context, p decomp.Point, incumbent float6
 func (r *Runner) absorbActivities(results []cluster.TaskResult) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	absorbResults(results, r.confAct, &r.aggStats, &r.subproblemsSolved, &r.subproblemsAborted)
+}
+
+// absorbResults is the single source of truth for classifying a batch's
+// results into an accounting table — the runner's global roll-up and every
+// scope's local counters use it, so the two can never drift.  Callers hold
+// the lock guarding the destinations.
+func absorbResults(results []cluster.TaskResult, confAct []float64, aggStats *solver.Stats, solved, aborted *int) {
 	for _, res := range results {
 		if !res.Started {
 			// Cancelled before a solver saw it: nothing to absorb, and
 			// counting it as solved would skew per-subproblem averages.
-			r.subproblemsAborted++
+			*aborted++
 			continue
 		}
-		for v := 1; v < len(res.ActVars) && v < len(r.confAct); v++ {
-			r.confAct[v] += res.ActVars[v]
+		for v := 1; v < len(res.ActVars) && v < len(confAct); v++ {
+			confAct[v] += res.ActVars[v]
 		}
-		r.aggStats = r.aggStats.Add(res.Stats)
+		*aggStats = aggStats.Add(res.Stats)
 		if res.Cancelled {
 			// Truncated mid-solve by a batch abort or cancellation: the
 			// effort was real (absorbed above) but the subproblem was not
 			// solved to completion.
-			r.subproblemsAborted++
+			*aborted++
 		} else {
-			r.subproblemsSolved++
+			*solved++
 		}
 	}
 }

@@ -1,0 +1,197 @@
+package pdsat
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/paper-repro/pdsat-go/internal/decomp"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+	"github.com/paper-repro/pdsat-go/internal/eval"
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// scopeTestInstance builds a weakened A5/1 instance for scope tests.
+func scopeTestInstance(t testing.TB) *encoder.Instance {
+	t.Helper()
+	inst, err := encoder.NewInstance(encoder.A51(), encoder.Config{
+		KeystreamLen: 40,
+		KnownSuffix:  46,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// estimatesEqual compares two point estimates bit for bit: F, every raw
+// sample cost and the satisfiable count.
+func estimatesEqual(a, b *PointEstimate) bool {
+	if a.Estimate.Value != b.Estimate.Value || a.SatisfiableSamples != b.SatisfiableSamples {
+		return false
+	}
+	av, bv := a.Sample.Values(), b.Sample.Values()
+	if len(av) != len(bv) {
+		return false
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScopeBitIdenticalToFreshRunner pins the scope isolation guarantee: a
+// scope with seed S on a busy runner evaluates exactly like a fresh runner
+// configured with Seed S, even though the runner's default scope has already
+// advanced its own evaluation counter.
+func TestScopeBitIdenticalToFreshRunner(t *testing.T) {
+	inst := scopeTestInstance(t)
+	cfg := Config{SampleSize: 12, Workers: 2, Seed: 3, CostMetric: solver.CostPropagations}
+	r := NewRunner(inst.CNF, cfg)
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	p := space.FullPoint()
+
+	// Advance the default scope so a shared counter would diverge.
+	for i := 0; i < 3; i++ {
+		if _, err := r.EvaluatePoint(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scopeSeed := int64(91)
+	sc := r.NewScope(scopeSeed)
+	fresh := NewRunner(inst.CNF, Config{SampleSize: 12, Workers: 2, Seed: scopeSeed, CostMetric: solver.CostPropagations})
+
+	q := p.Flip(0)
+	for i, point := range []decomp.Point{p, q, p.Flip(1)} {
+		got, err := sc.EvaluatePoint(context.Background(), point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.EvaluatePoint(context.Background(), point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !estimatesEqual(got, want) {
+			t.Fatalf("evaluation %d: scope F=%v differs from fresh runner F=%v",
+				i, got.Estimate.Value, want.Estimate.Value)
+		}
+	}
+
+	// The scope's local activity matches the fresh runner's global activity.
+	for _, v := range inst.UnknownStartVars() {
+		if sc.VarActivity(v) != fresh.VarActivity(v) {
+			t.Fatalf("scope activity of %d differs from fresh runner", v)
+		}
+	}
+	if sc.Evaluations() != 3 || fresh.Evaluations() != 3 {
+		t.Fatalf("scope counted %d evaluations, fresh runner %d, want 3", sc.Evaluations(), fresh.Evaluations())
+	}
+}
+
+// TestConcurrentScopesDeterministic runs several scopes concurrently against
+// one runner (one transport, one solver pool) and checks each scope's
+// results are bit-identical to running it alone: interleaving on the shared
+// transport must never leak into a scope's sampling.
+func TestConcurrentScopesDeterministic(t *testing.T) {
+	inst := scopeTestInstance(t)
+	cfg := Config{SampleSize: 10, Workers: 4, Seed: 1, CostMetric: solver.CostPropagations}
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	points := []decomp.Point{space.FullPoint(), space.FullPoint().Flip(0), space.FullPoint().Flip(2)}
+
+	const scopes = 4
+	// Solo reference: each scope's sequence run on its own runner.
+	want := make([][]*PointEstimate, scopes)
+	for i := 0; i < scopes; i++ {
+		solo := NewRunner(inst.CNF, Config{SampleSize: 10, Workers: 4, Seed: int64(100 + i), CostMetric: solver.CostPropagations})
+		for _, p := range points {
+			pe, err := solo.EvaluatePoint(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = append(want[i], pe)
+		}
+	}
+
+	r := NewRunner(inst.CNF, cfg)
+	got := make([][]*PointEstimate, scopes)
+	var wg sync.WaitGroup
+	errs := make([]error, scopes)
+	for i := 0; i < scopes; i++ {
+		sc := r.NewScope(int64(100 + i))
+		wg.Add(1)
+		go func(i int, sc *Scope) {
+			defer wg.Done()
+			for _, p := range points {
+				pe, err := sc.EvaluatePoint(context.Background(), p)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				got[i] = append(got[i], pe)
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("scope %d: %v", i, err)
+		}
+	}
+	for i := range got {
+		for k := range got[i] {
+			if !estimatesEqual(got[i][k], want[i][k]) {
+				t.Fatalf("scope %d evaluation %d differs under concurrency: F=%v want %v",
+					i, k, got[i][k].Estimate.Value, want[i][k].Estimate.Value)
+			}
+		}
+	}
+
+	// Global roll-up covers every scope's work.
+	totalEvals := scopes * len(points)
+	if r.Evaluations() != totalEvals {
+		t.Fatalf("runner rolled up %d evaluations, want %d", r.Evaluations(), totalEvals)
+	}
+	solved := 0
+	for i := 0; i < scopes; i++ {
+		solved += 10 * len(points)
+	}
+	if r.SubproblemsSolved() != solved {
+		t.Fatalf("runner rolled up %d solved subproblems, want %d", r.SubproblemsSolved(), solved)
+	}
+}
+
+// TestScopePruningCounters checks that an incumbent-pruned scope evaluation
+// counts in both the scope and the runner roll-up.
+func TestScopePruningCounters(t *testing.T) {
+	inst := scopeTestInstance(t)
+	r := NewRunner(inst.CNF, Config{SampleSize: 16, Workers: 2, Seed: 3, CostMetric: solver.CostPropagations})
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	p := space.FullPoint()
+	sc := r.NewScope(17)
+
+	// An absurdly low incumbent forces the prune on the first stage.
+	pe, err := sc.EvaluatePointBudgeted(context.Background(), p, eval.Policy{Prune: true, Stages: 2}, 1e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.Pruned {
+		t.Fatal("evaluation with an epsilon incumbent was not pruned")
+	}
+	if pe.LowerBound <= 1e-9 {
+		t.Fatalf("pruned lower bound %v does not exceed the incumbent", pe.LowerBound)
+	}
+	if sc.PrunedEvaluations() != 1 || r.PrunedEvaluations() != 1 {
+		t.Fatalf("pruned counters scope=%d runner=%d, want 1/1", sc.PrunedEvaluations(), r.PrunedEvaluations())
+	}
+	if sc.SubproblemsAborted() == 0 || r.SubproblemsAborted() != sc.SubproblemsAborted() {
+		t.Fatalf("aborted counters scope=%d runner=%d disagree", sc.SubproblemsAborted(), r.SubproblemsAborted())
+	}
+	if math.IsInf(pe.LowerBound, 1) {
+		t.Fatal("lower bound is infinite")
+	}
+}

@@ -11,8 +11,9 @@
 //     network cluster via Config.Runner.Transport.
 //  3. Submit work as jobs: EstimateJob evaluates the predictive function F
 //     for a decomposition set, SearchJob minimizes F with simulated
-//     annealing or tabu search, SolveJob processes a whole decomposition
-//     family (key recovery).
+//     annealing or tabu search, FleetJob races several searches
+//     concurrently over the same runner, SolveJob processes a whole
+//     decomposition family (key recovery).
 //  4. Follow a job through its typed event stream (Job.Events):
 //     SampleProgress per solved subproblem (evenly sampled on very large
 //     families), SearchVisit per optimizer step, WorkerJoined/WorkerLost
@@ -51,6 +52,25 @@
 // SearchVisit.Pruned flags lower-bound visits).  The zero EvalPolicy
 // disables every mechanism and reproduces full-sample evaluations bit for
 // bit; DefaultEvalPolicy returns the recommended settings.
+//
+// # Search fleets
+//
+// The paper compares simulated annealing and tabu search as separate
+// PDSAT runs; a FleetJob races K searches concurrently against the
+// session's single runner/cluster instead — mixed strategies, multi-restart
+// start points (Jitter), deterministic per-member sub-seeds — coupled
+// through a global atomic incumbent (every member's best F tightens the
+// pruning bound of every other member's evaluations) and the session
+// F-cache.  Member i's randomness derives from the root seed r by the
+// SubSeed rule: evaluation sampling SubSeed(r,3i), search walk
+// SubSeed(r,3i+1), start jitter SubSeed(r,3i+2) — so a fleet of one is
+// bit-identical to the direct SearchJob path under matching seeds, and a
+// fixed-seed fleet's per-member results are deterministic regardless of
+// interleaving whenever the policy's cross-member couplings (Prune, Cache)
+// are off.  Fleet streams add member-tagged events plus FleetMemberDone and
+// IncumbentImproved; the race ends early on TargetF or an exhausted member
+// (KeepRacing opts out), and MaxEvaluations is a fleet-total budget split
+// fairly.
 //
 // Server exposes the same API over HTTP/JSON (submit, stream events as
 // NDJSON or SSE, fetch results, cancel); `pdsat -serve :8080` serves it

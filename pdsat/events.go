@@ -6,18 +6,31 @@ import (
 )
 
 // Event is a typed progress notification from a running Job.  The concrete
-// types are SampleProgress, SearchVisit, EvalPruned, CacheHit, WorkerJoined,
-// WorkerLost and Done.
+// types are SampleProgress, SearchVisit, EvalPruned, CacheHit,
+// FleetMemberDone, IncumbentImproved, WorkerJoined, WorkerLost and Done.
 //
 // Every job's event stream is ordered (events arrive in the order the job
 // produced them) and terminates with exactly one Done event — also when the
-// job is cancelled or fails.  No events follow the Done.
+// job is cancelled or fails.  No events follow the Done.  A fleet job's
+// stream interleaves the events of its members; the Member field on the
+// per-member event types says which member produced each one (the HTTP
+// server can filter a stream down to one member, see Server).
 type Event interface {
 	// EventKind returns the stable wire name of the event type
 	// ("sample_progress", "search_visit", "eval_pruned", "cache_hit",
-	// "worker_joined", "worker_lost", "done"); the HTTP server uses it as
-	// the SSE event name and NDJSON discriminator.
+	// "fleet_member_done", "incumbent_improved", "worker_joined",
+	// "worker_lost", "done"); the HTTP server uses it as the SSE event name
+	// and NDJSON discriminator.
 	EventKind() string
+}
+
+// MemberEvent is implemented by event types attributable to one fleet
+// member; the server's per-member event filtering uses it.
+type MemberEvent interface {
+	Event
+	// EventMember returns the 0-based fleet member index that produced the
+	// event (0 for events of non-fleet jobs).
+	EventMember() int
 }
 
 // SampleProgress reports one collected subproblem result inside an
@@ -29,8 +42,10 @@ type Event interface {
 // results and the batch's final result always reported, so Done counters
 // stay monotonic and end at Total.
 type SampleProgress struct {
-	// Job is the reporting job's ID.
-	Job string `json:"job"`
+	// Job is the reporting job's ID; Member the 0-based fleet member whose
+	// evaluation the sample belongs to (0 for non-fleet jobs).
+	Job    string `json:"job"`
+	Member int    `json:"member,omitempty"`
 	// Done counts the subproblem results collected so far in the current
 	// batch; Total is the batch size.  Done == Total on the batch's last
 	// notification.
@@ -51,8 +66,10 @@ func (SampleProgress) EventKind() string { return "sample_progress" }
 // SearchVisit reports one optimizer step of a search job: a fresh
 // evaluation of the predictive function at a candidate decomposition set.
 type SearchVisit struct {
-	// Job is the reporting job's ID.
-	Job string `json:"job"`
+	// Job is the reporting job's ID; Member the 0-based fleet member whose
+	// search made the visit (0 for non-fleet jobs).
+	Job    string `json:"job"`
+	Member int    `json:"member,omitempty"`
 	// Index is the evaluation number (0-based, cache hits excluded).
 	Index int `json:"index"`
 	// Vars is the visited decomposition set, sorted by variable index.
@@ -76,8 +93,10 @@ func (SearchVisit) EventKind() string { return "search_visit" }
 // exceeded the search incumbent: the candidate set is provably worse than
 // the best one already found, and the remainder of its sample was skipped.
 type EvalPruned struct {
-	// Job is the reporting job's ID.
-	Job string `json:"job"`
+	// Job is the reporting job's ID; Member the 0-based fleet member whose
+	// evaluation was pruned (0 for non-fleet jobs).
+	Job    string `json:"job"`
+	Member int    `json:"member,omitempty"`
 	// Vars is the pruned decomposition set, sorted by variable index.
 	Vars []Var `json:"vars"`
 	// LowerBound is the certified lower bound on F that triggered the
@@ -96,8 +115,10 @@ func (EvalPruned) EventKind() string { return "eval_pruned" }
 // CacheHit reports that a predictive-function evaluation was served from
 // the session's cross-search F-cache without solving any subproblem.
 type CacheHit struct {
-	// Job is the reporting job's ID.
-	Job string `json:"job"`
+	// Job is the reporting job's ID; Member the 0-based fleet member whose
+	// evaluation was served from the cache (0 for non-fleet jobs).
+	Job    string `json:"job"`
+	Member int    `json:"member,omitempty"`
 	// Vars is the memoized decomposition set, sorted by variable index.
 	Vars []Var `json:"vars"`
 	// Value is the cached F value (a lower bound for entries memoized from
@@ -110,6 +131,65 @@ type CacheHit struct {
 
 // EventKind implements Event.
 func (CacheHit) EventKind() string { return "cache_hit" }
+
+// EventMember implements MemberEvent for the per-member event types.
+func (e SampleProgress) EventMember() int { return e.Member }
+
+// EventMember implements MemberEvent.
+func (e SearchVisit) EventMember() int { return e.Member }
+
+// EventMember implements MemberEvent.
+func (e EvalPruned) EventMember() int { return e.Member }
+
+// EventMember implements MemberEvent.
+func (e CacheHit) EventMember() int { return e.Member }
+
+// FleetMemberDone reports that one member of a fleet job finished its
+// search; the fleet job itself keeps running until every member is done
+// (or the fleet-wide early stop cancels the rest).
+type FleetMemberDone struct {
+	// Job is the reporting fleet job's ID; Member the finished member's
+	// 0-based index.
+	Job    string `json:"job"`
+	Member int    `json:"member"`
+	// Method is the member's search method ("simulated annealing" or
+	// "tabu search").
+	Method string `json:"method"`
+	// BestVars and BestValue are the member's best decomposition set and
+	// its F value; Evaluations the member's objective evaluation count.
+	BestVars    []Var   `json:"best_vars"`
+	BestValue   float64 `json:"best_value"`
+	Evaluations int     `json:"evaluations"`
+	// Stop is the member's stop reason.
+	Stop string `json:"stop"`
+}
+
+// EventKind implements Event.
+func (FleetMemberDone) EventKind() string { return "fleet_member_done" }
+
+// EventMember implements MemberEvent.
+func (e FleetMemberDone) EventMember() int { return e.Member }
+
+// IncumbentImproved reports that a fleet member lowered the fleet's global
+// shared incumbent: the new best F value immediately tightens the pruning
+// bound of every other member's evaluations.  Events arrive in improvement
+// order, so Value is strictly decreasing within one fleet job's stream.
+type IncumbentImproved struct {
+	// Job is the reporting fleet job's ID; Member the improving member's
+	// 0-based index.
+	Job    string `json:"job"`
+	Member int    `json:"member"`
+	// Vars is the improving decomposition set; Value its F value, the new
+	// fleet-wide incumbent.
+	Vars  []Var   `json:"vars"`
+	Value float64 `json:"value"`
+}
+
+// EventKind implements Event.
+func (IncumbentImproved) EventKind() string { return "incumbent_improved" }
+
+// EventMember implements MemberEvent.
+func (e IncumbentImproved) EventMember() int { return e.Member }
 
 // WorkerJoined reports that a remote worker registered with the session's
 // cluster leader while the job was running (see Session.PublishWorkerJoined).

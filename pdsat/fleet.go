@@ -1,0 +1,471 @@
+package pdsat
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/eval"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+	runner "github.com/paper-repro/pdsat-go/internal/pdsat"
+)
+
+// MaxFleetMembers bounds the size of one fleet job; larger fleets are a
+// configuration mistake (the session's transport capacity, not the member
+// count, limits useful parallelism) and are rejected at submit time.
+const MaxFleetMembers = 128
+
+// SubSeed is the deterministic sub-seed derivation rule of fleet jobs,
+// re-exported so a single fleet member can be reproduced standalone: member
+// i of a fleet with root seed r samples its evaluations with SubSeed(r, 3i),
+// walks its search with SubSeed(r, 3i+1) and jitters its start point with
+// SubSeed(r, 3i+2).  A direct SearchJob on a session configured with
+// RunnerConfig.Seed = SubSeed(r, 3i) and SearchOptions.Seed = SubSeed(r,
+// 3i+1) is bit-identical to that member.
+func SubSeed(root int64, i int) int64 { return optimize.SubSeed(root, i) }
+
+// FleetMemberSpec describes one homogeneous group of fleet members.
+type FleetMemberSpec struct {
+	// Method selects the group's metaheuristic, with the same spellings as
+	// SearchJob.Method ("sa"/"tabu", default tabu).
+	Method string `json:"method,omitempty"`
+	// Count is the number of members in the group (0 means 1).
+	Count int `json:"count,omitempty"`
+	// Start optionally overrides the fleet-level start set for this group.
+	Start []Var `json:"start,omitempty"`
+}
+
+// FleetJob races K concurrent searches — mixed strategies, multi-restart
+// start points, deterministic per-member sub-seeds — against the session's
+// single runner/cluster.  All members share the session F-cache and one
+// global atomic incumbent: every member's best F immediately tightens the
+// incumbent-pruning bound of every other member's evaluations, which makes
+// the race strictly cheaper than running the same searches sequentially
+// with isolated incumbents.
+//
+// Determinism contract: member i's evaluation sampling, search walk and
+// start jitter depend only on (Seed, i) — see SubSeed — so a fleet of one
+// is bit-identical to the direct SearchJob path under matching seeds, and a
+// fixed-seed fleet yields deterministic per-member results regardless of
+// interleaving as long as the effective evaluation policy has the
+// cross-member couplings (Prune, Cache) off.  With pruning or the shared
+// cache enabled, every member's best value remains a certified full
+// estimate, but which evaluations get pruned or served from the cache
+// depends on timing, so per-member traces may vary run to run — that
+// variability is exactly the work the coupling saves.
+//
+// The job emits member-tagged SearchVisit/SampleProgress/EvalPruned/
+// CacheHit events, a FleetMemberDone per finished member, an
+// IncumbentImproved per global improvement, and produces JobResult.Fleet.
+type FleetJob struct {
+	// Members is the fleet composition, e.g.
+	// {{Method:"tabu",Count:4},{Method:"sa",Count:4}}; see ParseFleet for
+	// the CLI string form.
+	Members []FleetMemberSpec `json:"members"`
+	// Seed is the root seed all per-member sub-seeds derive from; 0 means
+	// the session's search seed (or 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Start is the fleet-level starting decomposition set; empty means the
+	// full start set, as in the paper.
+	Start []Var `json:"start,omitempty"`
+	// Jitter flips this many deterministically chosen bits of the start
+	// point per member (member 0 keeps the canonical start), giving the
+	// fleet multi-restart diversity.  It must stay below the search-space
+	// size.
+	Jitter int `json:"jitter,omitempty"`
+	// TargetF, when positive, ends the whole race as soon as one member
+	// certifies a best F at or below it.
+	TargetF float64 `json:"target_f,omitempty"`
+	// MaxEvaluations, when positive, is the fleet-total evaluation budget,
+	// split fairly across the members (earlier members get the remainder).
+	// Zero leaves every member on the session's per-search budget.
+	MaxEvaluations int `json:"max_evaluations,omitempty"`
+	// KeepRacing disables the fleet-wide early stop that normally cancels
+	// the remaining members once one member exhausts its reachable space or
+	// reaches TargetF.
+	KeepRacing bool `json:"keep_racing,omitempty"`
+	// Policy optionally overrides the session's evaluation policy for every
+	// member of this job.  Nil means the session default.
+	Policy *EvalPolicy `json:"policy,omitempty"`
+}
+
+// Kind implements JobSpec.
+func (FleetJob) Kind() JobKind { return JobFleet }
+
+// ParseFleet parses the CLI fleet notation "tabu:4,sa:4" (method or
+// method:count, comma-separated) into member specs.
+func ParseFleet(s string) ([]FleetMemberSpec, error) {
+	var specs []FleetMemberSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := FleetMemberSpec{Count: 1}
+		if at := strings.IndexByte(part, ':'); at >= 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(part[at+1:]))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("pdsat: bad fleet member count in %q", part)
+			}
+			spec.Method, spec.Count = strings.TrimSpace(part[:at]), n
+		} else {
+			spec.Method = part
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("pdsat: empty fleet spec")
+	}
+	return specs, nil
+}
+
+// expandedMember is one fully resolved fleet member.
+type expandedMember struct {
+	method string // normalized long name (MethodTabu / MethodSimulatedAnnealing)
+	short  string // optimize fleet method name
+	start  Point
+}
+
+// expand resolves the member groups into individual members with validated
+// methods and start points.
+func (spec FleetJob) expand(s *Session) ([]expandedMember, error) {
+	if len(spec.Members) == 0 {
+		return nil, fmt.Errorf("pdsat: fleet job needs at least one member")
+	}
+	base, err := s.pointFromVars(spec.Start)
+	if err != nil {
+		return nil, err
+	}
+	var members []expandedMember
+	for gi, g := range spec.Members {
+		if g.Count < 0 {
+			return nil, fmt.Errorf("pdsat: fleet member group %d has negative count %d", gi, g.Count)
+		}
+		method, err := (SearchJob{Method: g.Method}).methodName()
+		if err != nil {
+			return nil, err
+		}
+		short := optimize.MethodTabu
+		if method == MethodSimulatedAnnealing {
+			short = optimize.MethodSA
+		}
+		start := base
+		if len(g.Start) > 0 {
+			start, err = s.pointFromVars(g.Start)
+			if err != nil {
+				return nil, err
+			}
+		}
+		count := g.Count
+		if count == 0 {
+			count = 1
+		}
+		for k := 0; k < count; k++ {
+			members = append(members, expandedMember{method: method, short: short, start: start})
+			if len(members) > MaxFleetMembers {
+				return nil, fmt.Errorf("pdsat: fleet of more than %d members", MaxFleetMembers)
+			}
+		}
+	}
+	return members, nil
+}
+
+func (spec FleetJob) validate(s *Session) error {
+	members, err := spec.expand(s)
+	if err != nil {
+		return err
+	}
+	if spec.MaxEvaluations > 0 && spec.MaxEvaluations < len(members) {
+		// fairSplit would hand some members a zero budget, which the search
+		// options mean as "unlimited" — the exact opposite of a tight total.
+		return fmt.Errorf("pdsat: fleet evaluation budget %d below the member count %d (every member needs at least one evaluation)",
+			spec.MaxEvaluations, len(members))
+	}
+	if spec.Jitter < 0 || spec.Jitter >= s.space.Size() {
+		return fmt.Errorf("pdsat: fleet jitter %d outside [0,%d)", spec.Jitter, s.space.Size())
+	}
+	if spec.TargetF < 0 || math.IsNaN(spec.TargetF) {
+		return fmt.Errorf("pdsat: invalid fleet target F %v (use 0 to disable)", spec.TargetF)
+	}
+	if spec.MaxEvaluations < 0 {
+		return fmt.Errorf("pdsat: negative fleet evaluation budget %d (use 0 for the per-search default)",
+			spec.MaxEvaluations)
+	}
+	if spec.Policy != nil {
+		if err := spec.Policy.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rootSeed resolves the fleet's root seed against the session defaults.
+func (spec FleetJob) rootSeed(s *Session) int64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	if s.cfg.Search.Seed != 0 {
+		return s.cfg.Search.Seed
+	}
+	return 1
+}
+
+// jitterStart flips jitter distinct bits of the base start point, chosen by
+// the member's start-seed stream SubSeed(root, 3·member+2).  Member 0 keeps
+// the canonical start, so every fleet contains one run of the paper's
+// from-X̃_start search.  A flip that would empty the decomposition set is
+// re-rolled (an empty set cannot be evaluated), which always terminates:
+// jitter < space size, so an eligible bit remains whenever flips are owed.
+func jitterStart(base Point, jitter int, root int64, member int) Point {
+	if jitter <= 0 || member == 0 {
+		return base
+	}
+	rng := rand.New(rand.NewSource(optimize.SubSeed(root, 3*member+2)))
+	p := base
+	flipped := make(map[int]bool, jitter)
+	for n := 0; n < jitter; {
+		i := rng.Intn(p.Size())
+		if flipped[i] || (p.Count() == 1 && p.Bit(i)) {
+			continue
+		}
+		flipped[i] = true
+		p = p.Flip(i)
+		n++
+	}
+	return p
+}
+
+// fairSplit divides a total evaluation budget across k members: every
+// member gets total/k, the first total%k members one more.
+func fairSplit(total, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = total / k
+		if i < total%k {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// FleetMemberResult is one member's slice of a fleet job's result.
+type FleetMemberResult struct {
+	// Member is the member's 0-based index; Method its metaheuristic.
+	Member int    `json:"member"`
+	Method string `json:"method"`
+	// EvalSeed and SearchSeed are the member's derived sub-seeds (SubSeed
+	// streams 3i and 3i+1), recorded so the member can be reproduced
+	// standalone.
+	EvalSeed   int64 `json:"eval_seed"`
+	SearchSeed int64 `json:"search_seed"`
+	// StartVars is the member's actual (possibly jittered) start set.
+	StartVars []Var `json:"start_vars"`
+	// Result is the member's raw search result; nil if the member failed
+	// before producing one.
+	Result *SearchResult `json:"-"`
+	// Best is the estimate of the member's best point, re-evaluated through
+	// the member's engine (a free cache hit when the F-cache is enabled).
+	Best *SetEstimate `json:"best_estimate,omitempty"`
+	// Err is the member's hard error, empty for normal termination.
+	Err string `json:"error,omitempty"`
+}
+
+// FleetOutcome is the result of a fleet job.
+type FleetOutcome struct {
+	// Seed is the resolved root seed the sub-seeds derive from.
+	Seed int64 `json:"seed"`
+	// Members holds every member's outcome, indexed by member.
+	Members []FleetMemberResult `json:"members"`
+	// BestMember is the winning member's index (-1 if no member produced a
+	// finite best value); BestVars/BestValue its best set and F, and Best
+	// the member's estimate of that set.
+	BestMember int          `json:"best_member"`
+	BestVars   []Var        `json:"best_vars,omitempty"`
+	BestValue  float64      `json:"best_value,omitempty"`
+	Best       *SetEstimate `json:"best_estimate,omitempty"`
+	// WallTime is the elapsed time of the whole race.
+	WallTime time.Duration `json:"wall_time_ns"`
+}
+
+func (spec FleetJob) run(ctx context.Context, j *Job) (*JobResult, error) {
+	s := j.session
+	members, err := spec.expand(s)
+	if err != nil {
+		return nil, err
+	}
+	root := spec.rootSeed(s)
+	pol := s.policyFor(spec.Policy)
+	var budgets []int
+	if spec.MaxEvaluations > 0 {
+		budgets = fairSplit(spec.MaxEvaluations, len(members))
+	}
+
+	// The global atomic incumbent coupling the members; improvements stream
+	// into the job's events in improvement order.
+	shared := optimize.NewIncumbent()
+	shared.OnImproved = func(member int, p Point, v float64) {
+		j.emit(IncumbentImproved{Job: j.id, Member: member, Vars: p.SortedVars(), Value: v})
+	}
+
+	fleet := make([]optimize.FleetMember, len(members))
+	engines := make([]*eval.Engine, len(members))
+	for i, m := range members {
+		// Each member evaluates through its own scope (isolated sampling
+		// state over the shared transport) and its own engine over the
+		// session's shared F-cache.
+		scope := s.runner.NewScope(optimize.SubSeed(root, 3*i))
+		engine := s.engineWith(scopeBackend{s: s, j: j, scope: scope, member: i}, j, pol, i)
+		engines[i] = engine
+
+		opts := s.cfg.Search
+		opts.Seed = optimize.SubSeed(root, 3*i+1)
+		opts.TargetValue = spec.TargetF
+		if budgets != nil {
+			opts.MaxEvaluations = budgets[i]
+		}
+		member := i
+		userObserver := opts.Observer
+		opts.Observer = func(v optimize.Visit) {
+			if userObserver != nil {
+				userObserver(v)
+			}
+			j.emit(SearchVisit{
+				Job:      j.id,
+				Member:   member,
+				Index:    v.Index,
+				Vars:     v.Point.SortedVars(),
+				Value:    v.Value,
+				Accepted: v.Accepted,
+				Improved: v.Improved,
+				Pruned:   v.Pruned,
+			})
+		}
+		fleet[i] = optimize.FleetMember{
+			Method:    m.short,
+			Objective: &fleetObjective{scope: scope, engine: engine},
+			Start:     jitterStart(m.start, spec.Jitter, root, i),
+			Opts:      opts,
+		}
+	}
+
+	fr, ferr := optimize.RunFleet(ctx, fleet, optimize.FleetOptions{
+		Shared:     shared,
+		KeepRacing: spec.KeepRacing,
+		OnMemberDone: func(member int, method string, res *optimize.Result) {
+			j.emit(FleetMemberDone{
+				Job:         j.id,
+				Member:      member,
+				Method:      members[member].method,
+				BestVars:    res.BestPoint.SortedVars(),
+				BestValue:   res.BestValue,
+				Evaluations: res.Evaluations,
+				Stop:        string(res.Stop),
+			})
+		},
+	})
+	if fr == nil {
+		return nil, ferr
+	}
+
+	outcome := &FleetOutcome{
+		Seed:       root,
+		Members:    make([]FleetMemberResult, len(fr.Members)),
+		BestMember: fr.Best,
+		WallTime:   fr.WallTime,
+	}
+	for i, mr := range fr.Members {
+		m := FleetMemberResult{
+			Member:     i,
+			Method:     members[i].method,
+			EvalSeed:   optimize.SubSeed(root, 3*i),
+			SearchSeed: optimize.SubSeed(root, 3*i+1),
+			StartVars:  fleet[i].Start.SortedVars(),
+			Result:     mr.Result,
+		}
+		if mr.Err != nil {
+			m.Err = mr.Err.Error()
+		} else if mr.Result != nil && !math.IsInf(mr.Result.BestValue, 1) {
+			// Re-estimate the member's best point through its own engine: a
+			// free cache hit with the F-cache on, the exact direct-path
+			// behaviour with it off.  The member result stands even if the
+			// re-estimation is cut short by a cancellation.
+			if ev, _ := engines[i].EvaluateF(ctx, mr.Result.BestPoint, math.Inf(1)); ev != nil {
+				m.Best = s.setEstimateFrom(mr.Result.BestPoint, ev)
+			}
+		}
+		outcome.Members[i] = m
+	}
+	if fr.Best >= 0 {
+		outcome.BestVars = fr.BestPoint.SortedVars()
+		outcome.BestValue = fr.BestValue
+		outcome.Best = outcome.Members[fr.Best].Best
+	}
+	return &JobResult{Fleet: outcome}, ferr
+}
+
+// fleetObjective adapts one member's scope and engine as its optimizer
+// objective: evaluations run budget-aware through the engine (threading the
+// member's incumbent), and the tabu getNewCenter heuristic consumes the
+// scope-local conflict activity, so the member's decisions never depend on
+// what concurrent members happened to solve.
+type fleetObjective struct {
+	scope  *runner.Scope
+	engine *eval.Engine
+}
+
+// Evaluate implements optimize.Objective (the searches prefer EvaluateF).
+func (o *fleetObjective) Evaluate(ctx context.Context, p Point) (float64, error) {
+	ev, err := o.EvaluateF(ctx, p, math.Inf(1))
+	if err != nil {
+		return 0, err
+	}
+	return ev.Value, nil
+}
+
+// EvaluateF implements eval.Evaluator.
+func (o *fleetObjective) EvaluateF(ctx context.Context, p Point, incumbent float64) (*eval.Evaluation, error) {
+	return o.engine.EvaluateF(ctx, p, incumbent)
+}
+
+// VarActivity implements optimize.ActivitySource with the member's
+// scope-local conflict activity.
+func (o *fleetObjective) VarActivity(v Var) float64 { return o.scope.VarActivity(v) }
+
+// scopeBackend adapts one member's evaluation scope as an eval.Backend
+// while streaming member-tagged sample progress into the job's event
+// stream.
+type scopeBackend struct {
+	s      *Session
+	j      *Job
+	scope  *runner.Scope
+	member int
+}
+
+// EvaluateBudgeted implements eval.Backend.
+func (b scopeBackend) EvaluateBudgeted(ctx context.Context, p Point, pol EvalPolicy, incumbent float64) (*eval.Evaluation, error) {
+	pe, err := b.scope.EvaluatePointBudgeted(ctx, p, pol, incumbent, memberSampleObserver(b.j, b.member))
+	if pe == nil {
+		return nil, err
+	}
+	ev := pe.Evaluation()
+	return &ev, err
+}
+
+// FleetJob submits a fleet job: Submit with a typed spec.
+func (s *Session) FleetJob(ctx context.Context, spec FleetJob) (*Job, error) {
+	return s.Submit(ctx, spec)
+}
+
+// SearchFleet races the fleet synchronously and returns its outcome (the
+// synchronous wrapper of FleetJob).
+func (s *Session) SearchFleet(ctx context.Context, spec FleetJob) (*FleetOutcome, error) {
+	res, err := s.runToCompletion(ctx, spec)
+	if res == nil {
+		return nil, err
+	}
+	return res.Fleet, err
+}

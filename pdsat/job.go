@@ -13,11 +13,13 @@ import (
 // JobKind identifies the type of work a job performs.
 type JobKind string
 
-// The three job kinds of the paper's PDSAT workflow.
+// The job kinds: the three of the paper's PDSAT workflow plus the fleet
+// race of concurrent searches (see FleetJob).
 const (
 	JobEstimate JobKind = "estimate"
 	JobSearch   JobKind = "search"
 	JobSolve    JobKind = "solve"
+	JobFleet    JobKind = "fleet"
 )
 
 // Search method names accepted by SearchJob.Method (the short forms "sa"
@@ -264,6 +266,8 @@ type JobResult struct {
 	Search *SearchOutcome `json:"search,omitempty"`
 	// Solve is a SolveJob's result.
 	Solve *SolveReport `json:"solve,omitempty"`
+	// Fleet is a FleetJob's result.
+	Fleet *FleetOutcome `json:"fleet,omitempty"`
 }
 
 // Job is the handle of one submitted unit of work.  It exposes the job's

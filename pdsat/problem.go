@@ -70,6 +70,7 @@ const (
 	StopExhausted    = optimize.StopExhausted
 	StopContext      = optimize.StopContext
 	StopNoImprovment = optimize.StopNoImprovment
+	StopTarget       = optimize.StopTarget
 )
 
 // Transport decides where subproblem batches run; see NewInprocTransport

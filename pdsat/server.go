@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -13,11 +14,16 @@ import (
 // Server exposes a Session's job-oriented API over HTTP/JSON (standard
 // library only).  Endpoints:
 //
-//	POST /v1/jobs              submit a job ({"kind":"estimate"|"search"|"solve", ...})
+//	POST /v1/jobs              submit a job ({"kind":"estimate"|"search"|
+//	                           "solve"|"fleet", ...}; fleet jobs carry
+//	                           {"members":[{"method":"tabu","count":4},...]}
+//	                           plus seed/jitter/target_f/max_evaluations)
 //	GET  /v1/jobs              list all jobs
 //	GET  /v1/jobs/{id}         one job's status and (when finished) result
 //	GET  /v1/jobs/{id}/events  stream the job's events as NDJSON
-//	                           (or SSE with Accept: text/event-stream)
+//	                           (or SSE with Accept: text/event-stream);
+//	                           ?member=N narrows a fleet job's stream to
+//	                           member N's events (plus the terminal "done")
 //	POST /v1/jobs/{id}/cancel  cancel a job
 //	DELETE /v1/jobs/{id}       evict a finished job (free its history)
 //	GET  /v1/problem           the served problem's metadata
@@ -63,8 +69,17 @@ type submitRequest struct {
 	Start          []Var   `json:"start"`
 	StopOnSat      bool    `json:"stop_on_sat"`
 	MaxSubproblems uint64  `json:"max_subproblems"`
+	// Fleet-job fields (kind "fleet"): the member groups plus the root
+	// seed, start-point jitter, target F, fleet-total evaluation budget and
+	// the early-stop opt-out; see FleetJob.
+	Members        []FleetMemberSpec `json:"members"`
+	Seed           int64             `json:"seed"`
+	Jitter         int               `json:"jitter"`
+	TargetF        float64           `json:"target_f"`
+	MaxEvaluations int               `json:"max_evaluations"`
+	KeepRacing     bool              `json:"keep_racing"`
 	// Policy optionally overrides the session's evaluation policy for
-	// estimate and search jobs, e.g.
+	// estimate, search and fleet jobs, e.g.
 	// {"prune":true,"stages":3,"epsilon":0.1,"cache":true}.
 	Policy *EvalPolicy `json:"policy"`
 }
@@ -76,6 +91,17 @@ func (req submitRequest) spec() (JobSpec, error) {
 		return EstimateJob{Vars: req.Vars, Policy: req.Policy}, nil
 	case JobSearch:
 		return SearchJob{Method: req.Method, Start: req.Start, Policy: req.Policy}, nil
+	case JobFleet:
+		return FleetJob{
+			Members:        req.Members,
+			Seed:           req.Seed,
+			Start:          req.Start,
+			Jitter:         req.Jitter,
+			TargetF:        req.TargetF,
+			MaxEvaluations: req.MaxEvaluations,
+			KeepRacing:     req.KeepRacing,
+			Policy:         req.Policy,
+		}, nil
 	case JobSolve:
 		if req.Policy != nil {
 			// Solving mode enumerates the whole family; the evaluation
@@ -85,7 +111,7 @@ func (req submitRequest) spec() (JobSpec, error) {
 		}
 		return SolveJob{Vars: req.Vars, StopOnSat: req.StopOnSat, MaxSubproblems: req.MaxSubproblems}, nil
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want estimate, search or solve)", req.Kind)
+		return nil, fmt.Errorf("unknown job kind %q (want estimate, search, solve or fleet)", req.Kind)
 	}
 }
 
@@ -159,6 +185,17 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// ?member=N narrows a fleet job's stream to one member's events; the
+	// terminal "done" (which carries no member) always passes the filter.
+	member := -1
+	if q := r.URL.Query().Get("member"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad member filter %q", q))
+			return
+		}
+		member = n
+	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
@@ -169,6 +206,11 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	for e := range j.Subscribe(r.Context()) {
+		if member >= 0 {
+			if me, ok := e.(MemberEvent); ok && me.EventMember() != member {
+				continue
+			}
+		}
 		payload, err := json.Marshal(e)
 		if err != nil {
 			return
@@ -219,6 +261,7 @@ type resultJSON struct {
 	Estimate *SetEstimate `json:"estimate,omitempty"`
 	Search   *searchJSON  `json:"search,omitempty"`
 	Solve    *solveJSON   `json:"solve,omitempty"`
+	Fleet    *fleetJSON   `json:"fleet,omitempty"`
 }
 
 // searchJSON flattens a SearchOutcome for the wire (the raw optimizer
@@ -231,6 +274,66 @@ type searchJSON struct {
 	Stop        string        `json:"stop"`
 	WallTime    time.Duration `json:"wall_time_ns"`
 	Best        *SetEstimate  `json:"best_estimate,omitempty"`
+}
+
+// fleetJSON flattens a FleetOutcome for the wire (the raw optimizer results
+// hold unexported search-space state, so each member is rendered like a
+// searchJSON row).
+type fleetJSON struct {
+	Seed       int64             `json:"seed"`
+	Members    []fleetMemberJSON `json:"members"`
+	BestMember int               `json:"best_member"`
+	BestVars   []Var             `json:"best_vars,omitempty"`
+	BestValue  float64           `json:"best_value,omitempty"`
+	Best       *SetEstimate      `json:"best_estimate,omitempty"`
+	WallTime   time.Duration     `json:"wall_time_ns"`
+}
+
+// fleetMemberJSON is one member's row of a fleet result.
+type fleetMemberJSON struct {
+	Member      int          `json:"member"`
+	Method      string       `json:"method"`
+	EvalSeed    int64        `json:"eval_seed"`
+	SearchSeed  int64        `json:"search_seed"`
+	StartVars   []Var        `json:"start_vars"`
+	BestVars    []Var        `json:"best_vars,omitempty"`
+	BestValue   float64      `json:"best_value,omitempty"`
+	Evaluations int          `json:"evaluations"`
+	Stop        string       `json:"stop,omitempty"`
+	Best        *SetEstimate `json:"best_estimate,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// fleetStatus renders a fleet outcome for the wire.
+func fleetStatus(f *FleetOutcome) *fleetJSON {
+	out := &fleetJSON{
+		Seed:       f.Seed,
+		Members:    make([]fleetMemberJSON, len(f.Members)),
+		BestMember: f.BestMember,
+		BestVars:   f.BestVars,
+		BestValue:  f.BestValue,
+		Best:       f.Best,
+		WallTime:   f.WallTime,
+	}
+	for i, m := range f.Members {
+		row := fleetMemberJSON{
+			Member:     m.Member,
+			Method:     m.Method,
+			EvalSeed:   m.EvalSeed,
+			SearchSeed: m.SearchSeed,
+			StartVars:  m.StartVars,
+			Best:       m.Best,
+			Error:      m.Err,
+		}
+		if m.Result != nil {
+			row.BestVars = m.Result.BestPoint.SortedVars()
+			row.BestValue = m.Result.BestValue
+			row.Evaluations = m.Result.Evaluations
+			row.Stop = string(m.Result.Stop)
+		}
+		out.Members[i] = row
+	}
+	return out
 }
 
 // solveJSON flattens a SolveReport for the wire.
@@ -276,6 +379,9 @@ func jobStatus(j *Job) jobStatusJSON {
 				Best:        result.Search.Best,
 			}
 			st.Result.Search = sj
+		}
+		if result.Fleet != nil {
+			st.Result.Fleet = fleetStatus(result.Fleet)
 		}
 		if result.Solve != nil {
 			st.Result.Solve = &solveJSON{

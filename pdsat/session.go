@@ -271,11 +271,19 @@ func (b sessionBackend) EvaluateBudgeted(ctx context.Context, p Point, pol EvalP
 // policy enables it), and pruning/cache-hit notifications wired into the
 // job's event stream.
 func (s *Session) engineFor(j *Job, pol EvalPolicy) *eval.Engine {
-	eng := eval.NewEngine(sessionBackend{s: s, j: j}, pol, s.fcache)
+	return s.engineWith(sessionBackend{s: s, j: j}, j, pol, 0)
+}
+
+// engineWith is engineFor over an explicit backend with member-tagged event
+// emission: fleet jobs build one engine per member, all sharing the
+// session's F-cache.
+func (s *Session) engineWith(backend eval.Backend, j *Job, pol EvalPolicy, member int) *eval.Engine {
+	eng := eval.NewEngine(backend, pol, s.fcache)
 	if j != nil {
 		eng.OnPruned = func(p Point, ev eval.Evaluation) {
 			j.emit(EvalPruned{
 				Job:            j.id,
+				Member:         member,
 				Vars:           p.SortedVars(),
 				LowerBound:     ev.LowerBound,
 				Incumbent:      ev.Incumbent,
@@ -284,7 +292,7 @@ func (s *Session) engineFor(j *Job, pol EvalPolicy) *eval.Engine {
 			})
 		}
 		eng.OnCacheHit = func(p Point, ev eval.Evaluation) {
-			j.emit(CacheHit{Job: j.id, Vars: p.SortedVars(), Value: ev.Value, Pruned: ev.Pruned})
+			j.emit(CacheHit{Job: j.id, Member: member, Vars: p.SortedVars(), Value: ev.Value, Pruned: ev.Pruned})
 		}
 	}
 	return eng
@@ -361,6 +369,12 @@ var maxSampleEvents = 8192
 // events, decimating oversized batches to at most ~maxSampleEvents
 // notifications.
 func sampleObserver(j *Job) func(runner.Progress) {
+	return memberSampleObserver(j, 0)
+}
+
+// memberSampleObserver is sampleObserver with a fleet member tag on every
+// emitted event.
+func memberSampleObserver(j *Job, member int) func(runner.Progress) {
 	if j == nil {
 		return nil
 	}
@@ -372,6 +386,7 @@ func sampleObserver(j *Job) func(runner.Progress) {
 		}
 		j.emit(SampleProgress{
 			Job:         j.id,
+			Member:      member,
 			Done:        p.Done,
 			Total:       p.Total,
 			Cost:        p.Result.Cost,
