@@ -75,6 +75,7 @@ func run() error {
 		stages     = flag.Int("stages", 0, "split each sample into this many geometric stages with an early-stop check between them (0/1 = unstaged; overrides -eval-policy)")
 		stageEps   = flag.Float64("stage-epsilon", 0, "staged early-stop target: stop once the eq.-3 confidence half-width is below this fraction of the mean (0 = no early stop; overrides -eval-policy)")
 		fcache     = flag.Bool("fcache", false, "memoize F values by decomposition set across searches and jobs (overrides -eval-policy)")
+		maxConc    = flag.Int("max-concurrent-evals", 0, "neighborhood-parallel search: evaluate up to this many candidate sets concurrently per neighborhood (0 = sequential; 1 = scheduler, bit-identical to sequential)")
 		stopOnSat  = flag.Bool("stop-on-sat", true, "in solve mode, stop at the first satisfiable subproblem")
 		timeout    = flag.Duration("timeout", 0, "overall wall-clock limit (0 = none)")
 		listen     = flag.String("listen", "", "act as cluster leader: listen for remote workers on this address and dispatch all subproblems to them")
@@ -119,6 +120,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	policy.MaxConcurrentEvals = *maxConc
 
 	cfg := pdsat.Config{
 		Runner: pdsat.RunnerConfig{
@@ -183,8 +185,8 @@ func run() error {
 	fmt.Printf("instance %s: %d variables, %d clauses, start set of %d variables\n",
 		problem.Name, problem.Formula.NumVars, problem.Formula.NumClauses(), len(problem.StartSet))
 	if policy.Enabled() {
-		fmt.Printf("evaluation policy: prune=%v stages=%d epsilon=%g gamma=%g fcache=%v\n",
-			policy.Prune, policy.Stages, policy.Epsilon, policy.EffectiveGamma(), policy.Cache)
+		fmt.Printf("evaluation policy: prune=%v stages=%d epsilon=%g gamma=%g fcache=%v max-concurrent-evals=%d\n",
+			policy.Prune, policy.Stages, policy.Epsilon, policy.EffectiveGamma(), policy.Cache, policy.MaxConcurrentEvals)
 	}
 
 	if *serve != "" {

@@ -76,6 +76,13 @@ type Policy struct {
 	// Cache hits still count against a search's evaluation budget (they
 	// are real visits), but solve no subproblems.
 	Cache bool `json:"cache,omitempty"`
+	// MaxConcurrentEvals is the width of the neighborhood-parallel
+	// evaluation scheduler: how many candidate evaluations a search may keep
+	// in flight on the transport at once (see Frontier).  0 keeps the
+	// sequential evaluation loop (the deterministic regression anchor); 1
+	// drives the scheduler one candidate at a time, which is bit-identical
+	// to the sequential loop; values above 1 pipeline whole neighborhoods.
+	MaxConcurrentEvals int `json:"max_concurrent_evals,omitempty"`
 }
 
 // DefaultGamma is the confidence level used when Policy.Gamma is zero.
@@ -90,7 +97,7 @@ func DefaultPolicy() Policy {
 
 // Enabled reports whether any mechanism of the policy is switched on.
 func (p Policy) Enabled() bool {
-	return p.Prune || p.Stages > 1 || p.Cache
+	return p.Prune || p.Stages > 1 || p.Cache || p.MaxConcurrentEvals > 1
 }
 
 // Validate reports whether the policy is usable.  Zero values are fine
@@ -107,6 +114,10 @@ func (p Policy) Validate() error {
 	if p.Gamma < 0 || p.Gamma >= 1 {
 		return fmt.Errorf("eval: confidence level %v outside [0,1) (use 0 for the default of %v)",
 			p.Gamma, DefaultGamma)
+	}
+	if p.MaxConcurrentEvals < 0 {
+		return fmt.Errorf("eval: negative evaluation concurrency %d (use 0 for the sequential path)",
+			p.MaxConcurrentEvals)
 	}
 	return nil
 }
@@ -291,20 +302,7 @@ func (e *Engine) EvaluateF(ctx context.Context, p decomp.Point, incumbent float6
 		}
 		return &ev, nil
 	}
-	ev, err := e.backend.EvaluateBudgeted(ctx, p, e.policy, incumbent)
-	if ev == nil || err != nil {
-		// Interrupted or failed evaluations are not cached: their partial
-		// estimates are completion-censored, not reusable facts.
-		return ev, err
-	}
-	if ev.Pruned {
-		ev.Incumbent = incumbent
-		if e.OnPruned != nil {
-			e.OnPruned(p, *ev)
-		}
-	}
-	e.cache.Store(key, variant, *ev)
-	return ev, nil
+	return e.settle(p, key, variant, incumbent)(e.backend.EvaluateBudgeted(ctx, p, e.policy, incumbent))
 }
 
 // CacheStats returns the shared cache's counters (zero if disabled).

@@ -108,6 +108,26 @@ type Options struct {
 	// therefore never counted as improvements — the bound proves the point
 	// worse than the fleet's best, which is all a minimizer needs to know.
 	Shared SharedIncumbent
+
+	// MaxConcurrentEvals routes the neighbourhood loops through the
+	// asynchronous evaluation scheduler (eval.Frontier): up to this many
+	// candidate evaluations are kept in flight on the transport at once,
+	// with the live best value threaded into every one so siblings prune
+	// each other, and the in-flight rest cancelled once a neighbourhood's
+	// outcome is decided.  0 keeps the plain sequential loops (the
+	// deterministic regression anchor); 1 drives the scheduler one
+	// candidate at a time, bit-identical to 0 for the tabu search and the
+	// simulated annealing alike; values above 1 pipeline evaluations and
+	// require the objective to be safe for concurrent use.  See
+	// doc comments in scheduler.go for the determinism rule.
+	MaxConcurrentEvals int
+
+	// NeighborhoodObserver, when non-nil, is called after every
+	// neighbourhood pass the scheduler completes (tabu neighbourhoods and
+	// simulated-annealing waves), from the search's goroutine.  It is only
+	// called when MaxConcurrentEvals ≥ 1; the sequential loops predate the
+	// neighbourhood notion and emit nothing.
+	NeighborhoodObserver func(Neighborhood)
 }
 
 // SharedIncumbent is the coupling point of a search fleet: a global,
@@ -157,6 +177,10 @@ func (o Options) Validate() error {
 	}
 	if o.TargetValue < 0 || math.IsNaN(o.TargetValue) {
 		return fmt.Errorf("optimize: invalid target value %v (use 0 to disable the target stop)", o.TargetValue)
+	}
+	if o.MaxConcurrentEvals < 0 {
+		return fmt.Errorf("optimize: negative evaluation concurrency %d (use 0 for the sequential loops)",
+			o.MaxConcurrentEvals)
 	}
 	return nil
 }
@@ -460,6 +484,10 @@ func SimulatedAnnealing(ctx context.Context, obj Objective, start decomp.Point, 
 		temperature = math.Max(centerValue*0.1, 1)
 	}
 
+	if s.frontierWidth() > 0 {
+		return s.annealScheduled(ctx, center, centerValue, best, bestValue, temperature)
+	}
+
 	for {
 		if err := s.checkBudgets(ctx); err != nil {
 			return s.result(best, bestValue), nil
@@ -591,6 +619,26 @@ func TabuSearch(ctx context.Context, obj Objective, start decomp.Point, opts Opt
 	for {
 		if err := s.checkBudgets(ctx); err != nil {
 			return s.result(best, bestValue), nil
+		}
+		if s.frontierWidth() > 0 {
+			updated, err := s.tabuNeighborhoodScheduled(ctx, tl, center, &best, &bestValue)
+			if err != nil {
+				if errors.Is(err, errStop) {
+					return s.result(best, bestValue), nil
+				}
+				return nil, err
+			}
+			if updated {
+				center = best
+				continue
+			}
+			next, ok := tl.getNewCenter(s.obj)
+			if !ok {
+				s.stopped = StopExhausted
+				return s.result(best, bestValue), nil
+			}
+			center = next
+			continue
 		}
 		bestValueUpdated := false
 		neighborhood := center.Neighbors(opts.Radius)

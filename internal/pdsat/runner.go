@@ -166,6 +166,15 @@ type Runner struct {
 	// mid-solve or never handed to a solver).
 	subproblemsSolved  int
 	subproblemsAborted int
+	// samplesPlanned counts the Monte Carlo samples committed by
+	// evaluations across all scopes; samplesSkipped the planned samples
+	// never dispatched (early-stopped or pruned-away stages, tails of
+	// scheduler-cancelled evaluations).  Together with the subproblem
+	// counters they form the ledger
+	// samplesPlanned == subproblemsSolved + subproblemsAborted + samplesSkipped
+	// for estimation/search work (Solve-mode subproblems are outside it).
+	samplesPlanned int
+	samplesSkipped int
 	// aggStats accumulates the per-subproblem solver statistics.
 	aggStats solver.Stats
 }
@@ -240,6 +249,23 @@ func (r *Runner) SubproblemsAborted() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.subproblemsAborted
+}
+
+// SamplesPlanned returns the Monte Carlo samples committed by evaluations
+// across every scope of this runner; see Scope.SamplesPlanned for the
+// ledger it balances.
+func (r *Runner) SamplesPlanned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samplesPlanned
+}
+
+// SamplesSkipped returns the planned samples never dispatched to a solver;
+// see Scope.SamplesSkipped.
+func (r *Runner) SamplesSkipped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samplesSkipped
 }
 
 // AggregateStats returns the summed solver statistics of every subproblem
@@ -449,6 +475,34 @@ func (r *Runner) EvaluateBudgeted(ctx context.Context, p decomp.Point, pol eval.
 // is owned by the session layer (pdsat.Session).
 func (r *Runner) EvaluateF(ctx context.Context, p decomp.Point, incumbent float64) (*eval.Evaluation, error) {
 	return r.EvaluateBudgeted(ctx, p, r.cfg.Policy, incumbent)
+}
+
+// ReserveEvalSlots implements eval.SlotBackend on the runner's default
+// scope: the neighborhood scheduler reserves one evaluation slot per
+// submitted candidate upfront, keeping sibling samples independent of
+// completion order.  See Scope.ReserveEvalSlots.
+func (r *Runner) ReserveEvalSlots(n int) int { return r.def.ReserveEvalSlots(n) }
+
+// EvaluateSlot implements eval.SlotBackend: EvaluateBudgeted against a
+// pre-reserved evaluation slot.
+func (r *Runner) EvaluateSlot(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return r.def.EvaluateSlot(ctx, p, pol, incumbent, slot)
+}
+
+// EvaluateSlotObserved is EvaluateSlot with a sample-progress observer (the
+// session layer's event streaming hooks in here).
+func (r *Runner) EvaluateSlotObserved(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, slot int, observe func(Progress)) (*eval.Evaluation, error) {
+	return r.def.EvaluateSlotObserved(ctx, p, pol, incumbent, slot, observe)
+}
+
+// ReserveSlots implements eval.SlotEvaluator (the evaluator-level view the
+// frontier consumes when a search runs on a bare Runner).
+func (r *Runner) ReserveSlots(n int) (int, bool) { return r.def.ReserveEvalSlots(n), true }
+
+// EvaluateSlotF implements eval.SlotEvaluator under the runner's
+// configured policy.
+func (r *Runner) EvaluateSlotF(ctx context.Context, p decomp.Point, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return r.def.EvaluateSlot(ctx, p, r.cfg.Policy, incumbent, slot)
 }
 
 // absorbActivities adds the per-task conflict activities and statistics into

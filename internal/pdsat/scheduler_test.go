@@ -1,0 +1,328 @@
+package pdsat
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/eval"
+	"github.com/paper-repro/pdsat-go/internal/optimize"
+)
+
+// compareSearchResults asserts full bit-identity of two search results over
+// this package's real runner: best point/value, counters, stop reason and
+// every trace field.
+func compareSearchResults(t *testing.T, got, want *optimize.Result) {
+	t.Helper()
+	if got.BestValue != want.BestValue {
+		t.Fatalf("best F differs: %v vs %v", got.BestValue, want.BestValue)
+	}
+	if !got.BestPoint.Equal(want.BestPoint) {
+		t.Fatalf("best point differs: %v vs %v", got.BestPoint.SortedVars(), want.BestPoint.SortedVars())
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", got.Evaluations, want.Evaluations)
+	}
+	if got.Stop != want.Stop {
+		t.Fatalf("stop reasons differ: %q vs %q", got.Stop, want.Stop)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(got.Trace), len(want.Trace))
+	}
+	for i := range got.Trace {
+		g, w := got.Trace[i], want.Trace[i]
+		if g.Index != w.Index || g.Value != w.Value || !g.Point.Equal(w.Point) ||
+			g.Accepted != w.Accepted || g.Improved != w.Improved || g.Pruned != w.Pruned {
+			t.Fatalf("trace visit %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+// TestSchedulerWidthOneBitIdenticalTabuZeroPolicy is the satellite
+// equivalence regression on the real pipeline: a fixed-seed Bivium tabu
+// search with MaxConcurrentEvals = 1 runs entirely through the scheduler
+// (pre-drawn visit order, slot-pinned samples, runWave) and must be bit-
+// identical to the sequential anchor — same trace, same conflict
+// activities, same subproblem counts.
+func TestSchedulerWidthOneBitIdenticalTabuZeroPolicy(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+
+	seqRunner := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	want, err := optimize.TabuSearch(context.Background(), seqRunner, space.FullPoint(),
+		optimize.Options{Seed: 5, MaxEvaluations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schedRunner := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+	got, err := optimize.TabuSearch(context.Background(), schedRunner, space.FullPoint(),
+		optimize.Options{Seed: 5, MaxEvaluations: 25, MaxConcurrentEvals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compareSearchResults(t, got, want)
+	for _, v := range inst.UnknownStartVars() {
+		if a, b := seqRunner.VarActivity(v), schedRunner.VarActivity(v); a != b {
+			t.Fatalf("conflict activity of %d differs: %v vs %v", v, a, b)
+		}
+	}
+	if seqRunner.SubproblemsSolved() != schedRunner.SubproblemsSolved() {
+		t.Fatalf("solved counts differ: %d vs %d",
+			seqRunner.SubproblemsSolved(), schedRunner.SubproblemsSolved())
+	}
+}
+
+// TestSchedulerWidthOneBitIdenticalTabuDefaultPolicy repeats the width-1
+// anchor under the default policy (pruning + staging + F-cache): the
+// scheduler's one-at-a-time path must thread the improving incumbent into
+// every evaluation exactly like the sequential loop, so even the pruned
+// lower bounds match bit for bit.
+func TestSchedulerWidthOneBitIdenticalTabuDefaultPolicy(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	pol := eval.DefaultPolicy()
+
+	seqRunner := NewRunner(inst.CNF, evalTestConfig(pol))
+	want, err := optimize.TabuSearch(context.Background(), seqRunner, space.FullPoint(),
+		optimize.Options{Seed: 5, MaxEvaluations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schedRunner := NewRunner(inst.CNF, evalTestConfig(pol))
+	got, err := optimize.TabuSearch(context.Background(), schedRunner, space.FullPoint(),
+		optimize.Options{Seed: 5, MaxEvaluations: 25, MaxConcurrentEvals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSearchResults(t, got, want)
+	if seqRunner.PrunedEvaluations() != schedRunner.PrunedEvaluations() {
+		t.Fatalf("pruned counts differ: %d vs %d",
+			seqRunner.PrunedEvaluations(), schedRunner.PrunedEvaluations())
+	}
+}
+
+// TestSchedulerWidthOneBitIdenticalSA is the width-1 anchor for the
+// simulated annealing: single-candidate waves reproduce the sequential
+// pick/evaluate/accept/cool interleaving — including the acceptance RNG
+// draws — exactly.
+func TestSchedulerWidthOneBitIdenticalSA(t *testing.T) {
+	// 17 unknown variables and a budget of 14: even a run of all-accepted
+	// downhill moves cannot shrink the decomposition set to empty, which
+	// the annealing's neighbourhood generation does not tolerate.
+	inst := weakBivium(t, 160, 200, 7)
+	space := unknownSpace(inst)
+	run := func(width int) *optimize.Result {
+		r := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+		res, err := optimize.SimulatedAnnealing(context.Background(), r, space.FullPoint(),
+			optimize.Options{Seed: 5, MaxEvaluations: 14, InitialTemperature: 0.5, MaxConcurrentEvals: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	compareSearchResults(t, run(1), run(0))
+}
+
+// TestSchedulerWideZeroPolicyMatchesSequential: with pruning off and the
+// evaluation budget inside the first neighbourhood, a width-4 tabu search
+// must reproduce the sequential trace exactly — the pre-drawn visit order
+// is the sequential pick order, and the slot reservation pins every
+// candidate's Monte Carlo sample to the value the sequential path would
+// have drawn, whatever order the four in-flight evaluations complete in.
+func TestSchedulerWideZeroPolicyMatchesSequential(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	run := func(width int) *optimize.Result {
+		r := NewRunner(inst.CNF, evalTestConfig(eval.Policy{}))
+		res, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(),
+			optimize.Options{Seed: 5, MaxEvaluations: 20, MaxConcurrentEvals: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(0)
+	if want.Stop != optimize.StopEvaluations {
+		t.Fatalf("anchor run must stop on the evaluation budget, got %q", want.Stop)
+	}
+	compareSearchResults(t, run(4), want)
+}
+
+// TestSchedulerWideDeterministicRunToRun: the tentpole's determinism
+// claim on the real pipeline — at width 4 with the default policy
+// (pruning and sibling cancellation active), repeated fixed-seed runs
+// select the same centres and the same best F even though completion
+// order, pruned bounds and abort counts vary freely between runs.
+func TestSchedulerWideDeterministicRunToRun(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	run := func() *optimize.Result {
+		r := NewRunner(inst.CNF, evalTestConfig(eval.DefaultPolicy()))
+		res, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(),
+			optimize.Options{Seed: 5, MaxEvaluations: 20, MaxConcurrentEvals: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BestValue != b.BestValue {
+		t.Fatalf("best F varies across runs: %v vs %v", a.BestValue, b.BestValue)
+	}
+	if !a.BestPoint.Equal(b.BestPoint) {
+		t.Fatalf("best point varies across runs: %v vs %v",
+			a.BestPoint.SortedVars(), b.BestPoint.SortedVars())
+	}
+	// The visited point sequence (= selected centres + visit order) is
+	// deterministic; values of pruned visits are certified lower bounds and
+	// may differ, full estimates may not.
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths vary across runs: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		g, w := a.Trace[i], b.Trace[i]
+		if !g.Point.Equal(w.Point) {
+			t.Fatalf("visit %d point varies across runs", i)
+		}
+		if !g.Pruned && !w.Pruned && g.Value != w.Value {
+			t.Fatalf("visit %d full estimate varies across runs: %v vs %v", i, g.Value, w.Value)
+		}
+	}
+}
+
+// TestSchedulerWideEqualBestF: at an equal budget inside the first
+// neighbourhood, the wide scheduler under the default policy certifies
+// the same best F and best point as the sequential default-policy search
+// — concurrency buys wall-clock, never answer quality.
+func TestSchedulerWideEqualBestF(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	run := func(width int) *optimize.Result {
+		r := NewRunner(inst.CNF, evalTestConfig(eval.DefaultPolicy()))
+		res, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(),
+			optimize.Options{Seed: 5, MaxEvaluations: 20, MaxConcurrentEvals: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, wide := run(0), run(4)
+	if wide.BestValue != seq.BestValue {
+		t.Fatalf("best F differs: wide %v vs sequential %v", wide.BestValue, seq.BestValue)
+	}
+	if !wide.BestPoint.Equal(seq.BestPoint) {
+		t.Fatalf("best point differs: %v vs %v",
+			wide.BestPoint.SortedVars(), seq.BestPoint.SortedVars())
+	}
+}
+
+// TestSampleLedgerBalances: the accounting satellite.  Every evaluation
+// commits its sample size to the planned ledger; each planned sample is
+// then solved, aborted mid-solve, or skipped before dispatch — the three
+// buckets must sum back exactly, including under concurrent evaluation
+// with sibling cancellation and pruning.
+func TestSampleLedgerBalances(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	for _, tc := range []struct {
+		name  string
+		pol   eval.Policy
+		width int
+	}{
+		{"sequential zero policy", eval.Policy{}, 0},
+		{"sequential default policy", eval.DefaultPolicy(), 0},
+		{"wide default policy", eval.DefaultPolicy(), 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRunner(inst.CNF, evalTestConfig(tc.pol))
+			space := unknownSpace(inst)
+			_, err := optimize.TabuSearch(context.Background(), r, space.FullPoint(),
+				optimize.Options{Seed: 5, MaxEvaluations: 15, MaxConcurrentEvals: tc.width})
+			if err != nil {
+				t.Fatal(err)
+			}
+			planned, solved := r.SamplesPlanned(), r.SubproblemsSolved()
+			aborted, skipped := r.SubproblemsAborted(), r.SamplesSkipped()
+			if planned == 0 {
+				t.Fatal("no samples planned")
+			}
+			if planned != solved+aborted+skipped {
+				t.Fatalf("ledger out of balance: planned %d != solved %d + aborted %d + skipped %d",
+					planned, solved, aborted, skipped)
+			}
+			if tc.pol.Prune && aborted+skipped == 0 {
+				t.Fatal("default policy saved no subproblems on this instance")
+			}
+		})
+	}
+}
+
+// TestSchedulerScopeLedgerBalances checks the same invariant on an
+// isolated scope (the fleet members' evaluation context) driven through
+// the slot API directly.
+func TestSchedulerScopeLedgerBalances(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	r := NewRunner(inst.CNF, evalTestConfig(eval.Policy{Prune: true}))
+	sc := r.NewScope(99)
+	space := unknownSpace(inst)
+	p := space.FullPoint()
+
+	base := sc.ReserveEvalSlots(3)
+	if _, err := sc.EvaluateSlot(context.Background(), p, eval.Policy{}, math.Inf(1), base); err != nil {
+		t.Fatal(err)
+	}
+	// A tight incumbent forces pruning: part of the sample is aborted or
+	// skipped, and the ledger must still balance.
+	if ev, err := sc.EvaluateSlot(context.Background(), p.Flip(0), eval.Policy{Prune: true}, 1, base+1); err != nil {
+		t.Fatal(err)
+	} else if !ev.Pruned {
+		t.Fatalf("evaluation against incumbent 1 not pruned: %+v", ev)
+	}
+	planned, solved := sc.SamplesPlanned(), sc.SubproblemsSolved()
+	aborted, skipped := sc.SubproblemsAborted(), sc.SamplesSkipped()
+	if planned != solved+aborted+skipped {
+		t.Fatalf("scope ledger out of balance: planned %d != solved %d + aborted %d + skipped %d",
+			planned, solved, aborted, skipped)
+	}
+	if planned != 2*24 {
+		t.Fatalf("planned %d samples, want 2 evaluations x 24", planned)
+	}
+	// Slot 3 was reserved but never used (a burned slot): reservation alone
+	// must not plan samples.
+	if r.SamplesPlanned() != planned {
+		t.Fatalf("runner ledger %d diverged from its only scope %d", r.SamplesPlanned(), planned)
+	}
+}
+
+// TestSchedulerCancellationMidNeighborhood: the -race stress satellite at
+// this layer — cancel the context while a wide neighbourhood is in
+// flight, on the real transport, and require a graceful StopContext with
+// a balanced ledger.
+func TestSchedulerCancellationMidNeighborhood(t *testing.T) {
+	inst := weakBivium(t, 167, 60, 21)
+	space := unknownSpace(inst)
+	r := NewRunner(inst.CNF, evalTestConfig(eval.DefaultPolicy()))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := optimize.TabuSearch(ctx, r, space.FullPoint(),
+		optimize.Options{Seed: 5, MaxConcurrentEvals: 4})
+	cancel()
+	if err != nil {
+		t.Fatalf("cancelled search returned a hard error: %v", err)
+	}
+	if res.Stop != optimize.StopContext {
+		t.Fatalf("stop reason %q, want %q", res.Stop, optimize.StopContext)
+	}
+	planned, solved := r.SamplesPlanned(), r.SubproblemsSolved()
+	aborted, skipped := r.SubproblemsAborted(), r.SamplesSkipped()
+	if planned != solved+aborted+skipped {
+		t.Fatalf("ledger out of balance after cancellation: planned %d != solved %d + aborted %d + skipped %d",
+			planned, solved, aborted, skipped)
+	}
+}

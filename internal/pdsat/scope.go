@@ -39,6 +39,8 @@ type Scope struct {
 	prunedEvaluations  int
 	subproblemsSolved  int
 	subproblemsAborted int
+	samplesPlanned     int
+	samplesSkipped     int
 	aggStats           solver.Stats
 }
 
@@ -86,6 +88,26 @@ func (sc *Scope) SubproblemsAborted() int {
 	return sc.subproblemsAborted
 }
 
+// SamplesPlanned returns the total number of Monte Carlo samples the
+// scope's evaluations committed to (N per evaluation that reached its
+// sample): the left-hand side of the sample ledger
+// SamplesPlanned == SubproblemsSolved + SubproblemsAborted + SamplesSkipped.
+func (sc *Scope) SamplesPlanned() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.samplesPlanned
+}
+
+// SamplesSkipped returns the planned samples that were never dispatched to
+// a solver: stages skipped by an early stop or a stage-boundary prune, and
+// the tails of evaluations cancelled by the scheduler (e.g. siblings of a
+// decided neighborhood winner).
+func (sc *Scope) SamplesSkipped() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.samplesSkipped
+}
+
 // AggregateStats returns the summed solver statistics of the scope's solved
 // subproblems.
 func (sc *Scope) AggregateStats() solver.Stats {
@@ -109,15 +131,47 @@ func (sc *Scope) VarActivity(v cnf.Var) float64 {
 
 // nextEvalIndex reserves the scope's next evaluation slot and mirrors the
 // count into the runner's global roll-up.
-func (sc *Scope) nextEvalIndex() int {
+func (sc *Scope) nextEvalIndex() int { return sc.ReserveEvalSlots(1) }
+
+// ReserveEvalSlots implements eval.SlotBackend: it reserves n consecutive
+// evaluation slots (mirrored into the runner roll-up) and returns the
+// first.  The neighborhood scheduler reserves a whole submission upfront
+// so every sibling's sample — a pure function of (scope seed, slot) —
+// is independent of completion order and cancellation timing; slots of
+// candidates that end up cancelled stay burned, deliberately.
+func (sc *Scope) ReserveEvalSlots(n int) int {
 	sc.mu.Lock()
 	idx := sc.evaluations
-	sc.evaluations++
+	sc.evaluations += n
 	sc.mu.Unlock()
 	sc.r.mu.Lock()
-	sc.r.evaluations++
+	sc.r.evaluations += n
 	sc.r.mu.Unlock()
 	return idx
+}
+
+// notePlanned counts an evaluation's committed sample size in the scope
+// and runner ledgers; noteSkipped the part of it that was never
+// dispatched.
+func (sc *Scope) notePlanned(n int) {
+	sc.mu.Lock()
+	sc.samplesPlanned += n
+	sc.mu.Unlock()
+	sc.r.mu.Lock()
+	sc.r.samplesPlanned += n
+	sc.r.mu.Unlock()
+}
+
+func (sc *Scope) noteSkipped(n int) {
+	if n <= 0 {
+		return
+	}
+	sc.mu.Lock()
+	sc.samplesSkipped += n
+	sc.mu.Unlock()
+	sc.r.mu.Lock()
+	sc.r.samplesSkipped += n
+	sc.r.mu.Unlock()
 }
 
 // notePruned counts one incumbent-pruned evaluation in the scope and the
@@ -171,12 +225,49 @@ func (sc *Scope) EvaluateF(ctx context.Context, p decomp.Point, incumbent float6
 	return sc.EvaluateBudgeted(ctx, p, sc.r.cfg.Policy, incumbent)
 }
 
+// ReserveSlots implements eval.SlotEvaluator (the evaluator-level view the
+// frontier consumes when a search runs directly on a Scope).
+func (sc *Scope) ReserveSlots(n int) (int, bool) { return sc.ReserveEvalSlots(n), true }
+
+// EvaluateSlotF implements eval.SlotEvaluator under the runner's
+// configured policy.
+func (sc *Scope) EvaluateSlotF(ctx context.Context, p decomp.Point, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return sc.EvaluateSlot(ctx, p, sc.r.cfg.Policy, incumbent, slot)
+}
+
 // EvaluatePointBudgeted is the budget-aware evaluation at the heart of the
 // engine, running in this scope: the sample depends only on (scope seed,
 // scope evaluation counter), the policy decides how much of it is solved,
 // and the incumbent bound drives pruning.  See the method of the same name
 // on Runner (which delegates to its default scope) for the full contract.
 func (sc *Scope) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, observe func(Progress)) (*PointEstimate, error) {
+	return sc.evaluatePointAt(ctx, p, pol, incumbent, observe, -1)
+}
+
+// EvaluateSlot implements eval.SlotBackend: EvaluateBudgeted with the
+// sample drawn from a pre-reserved evaluation slot (see ReserveEvalSlots)
+// instead of a freshly reserved one.
+func (sc *Scope) EvaluateSlot(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return sc.EvaluateSlotObserved(ctx, p, pol, incumbent, slot, nil)
+}
+
+// EvaluateSlotObserved is EvaluateSlot with a sample-progress observer (the
+// session layer's event streaming hooks in here).
+func (sc *Scope) EvaluateSlotObserved(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, slot int, observe func(Progress)) (*eval.Evaluation, error) {
+	pe, err := sc.evaluatePointAt(ctx, p, pol, incumbent, observe, slot)
+	if pe == nil {
+		return nil, err
+	}
+	ev := pe.Evaluation()
+	return &ev, err
+}
+
+// evaluatePointAt runs one budget-aware evaluation against a fixed
+// evaluation slot; a negative slot reserves the next one.  The live
+// incumbent bound of a neighborhood frontier, when attached to ctx, is
+// re-read at every pruning checkpoint, so sibling candidates completing
+// concurrently tighten this evaluation's abort threshold mid-sample.
+func (sc *Scope) evaluatePointAt(ctx context.Context, p decomp.Point, pol eval.Policy, incumbent float64, observe func(Progress), slot int) (*PointEstimate, error) {
 	r := sc.r
 	if r.cfgErr != nil {
 		return nil, r.cfgErr
@@ -188,7 +279,10 @@ func (sc *Scope) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol 
 		return nil, errors.New("pdsat: empty decomposition set")
 	}
 	start := time.Now()
-	evalIndex := sc.nextEvalIndex()
+	evalIndex := slot
+	if evalIndex < 0 {
+		evalIndex = sc.nextEvalIndex()
+	}
 
 	fam := decomp.FamilyOf(r.formula, p)
 	// Derive a per-evaluation RNG so evaluation results do not depend on the
@@ -208,12 +302,34 @@ func (sc *Scope) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol 
 		tasks[i] = cluster.Task{Index: i, Assumptions: assumptions}
 	}
 
-	prune := pol.Prune && !math.IsInf(incumbent, 1) && !math.IsNaN(incumbent)
+	// A live bound (attached by the neighborhood frontier) supplies sibling
+	// improvements as they complete; it only ever tightens the incumbent.
+	live := eval.LiveBoundFrom(ctx)
+	if live != nil {
+		if b := live.Get(); b < incumbent {
+			incumbent = b
+		}
+	}
+	prune := pol.Prune &&
+		((!math.IsInf(incumbent, 1) && !math.IsNaN(incumbent)) || live != nil)
 	// sumBound is the incumbent translated onto the plain cost sum:
 	// 2^d·(Σζ)/N > incumbent  ⇔  Σζ > incumbent·N/2^d.
 	sumBound := math.Inf(1)
 	if prune {
 		sumBound = incumbent * float64(n) / scale
+	}
+	// refreshBound re-reads the live bound at a pruning checkpoint.  It runs
+	// either between stages or on the batch collection path (whose calls
+	// complete before the batch call returns), never concurrently with
+	// itself, so the captured locals need no locking.
+	refreshBound := func() {
+		if live == nil || !prune {
+			return
+		}
+		if b := live.Get(); b < incumbent {
+			incumbent = b
+			sumBound = incumbent * float64(n) / scale
+		}
 	}
 
 	// The stage observer runs on the batch collection path (a single
@@ -235,6 +351,7 @@ func (sc *Scope) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol 
 			if observe != nil {
 				observe(Progress{Done: done, Total: n, Result: res})
 			}
+			refreshBound()
 			if prune && !aborted && sumAll > sumBound {
 				aborted = true
 				close(abortCh)
@@ -251,10 +368,13 @@ func (sc *Scope) EvaluatePointBudgeted(ctx context.Context, p decomp.Point, pol 
 		stagesRun    int
 		runErr       error
 	)
+	sc.notePlanned(n)
+	defer func() { sc.noteSkipped(n - collected) }()
 	next := 0
 	for _, end := range eval.StagePlan(n, pol.Stages) {
 		begin := next
 		next = end
+		refreshBound()
 		if prune && sumAll > sumBound {
 			pruned = true
 			break

@@ -72,6 +72,31 @@
 // (KeepRacing opts out), and MaxEvaluations is a fleet-total budget split
 // fairly.
 //
+// # Neighborhood-parallel evaluation
+//
+// EvalPolicy.MaxConcurrentEvals switches a search's inner loop to the
+// neighbourhood scheduler: a whole tabu neighbourhood (or a speculative
+// wave of annealing candidates) is submitted as concurrent evaluations on
+// the shared transport, the live best F is threaded into every in-flight
+// sample so sibling candidates prune each other, and deciding a pass
+// aborts its remaining siblings.  Every completed pass emits a
+// NeighborhoodDone event with its counters.
+//
+// The determinism rule: evaluation slots are reserved per neighbourhood
+// up front, so each candidate's Monte Carlo sample depends only on (scope
+// seed, slot) — never on completion order — and the minimum-F candidate
+// can never be pruned by the live bound.  Selected centres and the
+// reported best F are therefore scheduling-independent.  Still
+// timing-dependent under an active policy (exactly as in fleet races):
+// which non-winning candidates get pruned and the lower bounds they
+// report, subproblem solved/aborted counts, conflict activity from
+// truncated solves, and which discarded annealing-wave members reach the
+// F-cache.  For strictly reproducible full traces, switch Prune and Cache
+// off.  MaxConcurrentEvals == 1 runs the scheduler one candidate at a
+// time, bit-identical to the sequential default (0); the CLI knob is
+// -max-concurrent-evals, and over HTTP the policy field
+// "max_concurrent_evals" passes through POST /v1/jobs.
+//
 // Server exposes the same API over HTTP/JSON (submit, stream events as
 // NDJSON or SSE, fetch results, cancel); `pdsat -serve :8080` serves it
 // from the command line.  See the package example and README.md for

@@ -7,7 +7,8 @@ import (
 
 // Event is a typed progress notification from a running Job.  The concrete
 // types are SampleProgress, SearchVisit, EvalPruned, CacheHit,
-// FleetMemberDone, IncumbentImproved, WorkerJoined, WorkerLost and Done.
+// NeighborhoodDone, FleetMemberDone, IncumbentImproved, WorkerJoined,
+// WorkerLost and Done.
 //
 // Every job's event stream is ordered (events arrive in the order the job
 // produced them) and terminates with exactly one Done event — also when the
@@ -18,9 +19,9 @@ import (
 type Event interface {
 	// EventKind returns the stable wire name of the event type
 	// ("sample_progress", "search_visit", "eval_pruned", "cache_hit",
-	// "fleet_member_done", "incumbent_improved", "worker_joined",
-	// "worker_lost", "done"); the HTTP server uses it as the SSE event name
-	// and NDJSON discriminator.
+	// "neighborhood_done", "fleet_member_done", "incumbent_improved",
+	// "worker_joined", "worker_lost", "done"); the HTTP server uses it as
+	// the SSE event name and NDJSON discriminator.
 	EventKind() string
 }
 
@@ -143,6 +144,42 @@ func (e EvalPruned) EventMember() int { return e.Member }
 
 // EventMember implements MemberEvent.
 func (e CacheHit) EventMember() int { return e.Member }
+
+// NeighborhoodDone reports one completed neighbourhood pass of a search
+// running with Policy.MaxConcurrentEvals ≥ 1 (the neighbourhood-parallel
+// scheduler): a whole tabu neighbourhood, or one speculative wave of the
+// simulated annealing.  Sequential searches (MaxConcurrentEvals == 0) do
+// not emit it.
+type NeighborhoodDone struct {
+	// Job is the reporting job's ID; Member the 0-based fleet member whose
+	// search completed the pass (0 for non-fleet jobs).
+	Job    string `json:"job"`
+	Member int    `json:"member,omitempty"`
+	// Center is the pass's neighbourhood centre, sorted by variable index;
+	// Radius its Hamming radius.
+	Center []Var `json:"center"`
+	Radius int   `json:"radius"`
+	// Candidates is the number of candidates submitted to the scheduler;
+	// Evaluated how many were freshly evaluated, Pruned how many of those
+	// the incumbent bound cut short, and Cancelled how many were discarded
+	// unprocessed when the pass's outcome was decided early.
+	Candidates int `json:"candidates"`
+	Evaluated  int `json:"evaluated"`
+	Pruned     int `json:"pruned,omitempty"`
+	Cancelled  int `json:"cancelled,omitempty"`
+	// Improved reports whether the pass improved the search's best value,
+	// which BestValue reports as of the end of the pass.
+	Improved  bool    `json:"improved,omitempty"`
+	BestValue float64 `json:"best_value"`
+	// Width is the scheduler's in-flight evaluation cap for the pass.
+	Width int `json:"width"`
+}
+
+// EventKind implements Event.
+func (NeighborhoodDone) EventKind() string { return "neighborhood_done" }
+
+// EventMember implements MemberEvent.
+func (e NeighborhoodDone) EventMember() int { return e.Member }
 
 // FleetMemberDone reports that one member of a fleet job finished its
 // search; the fleet job itself keeps running until every member is done

@@ -327,7 +327,20 @@ func (spec FleetJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 		if budgets != nil {
 			opts.MaxEvaluations = budgets[i]
 		}
+		// The policy's evaluation concurrency selects the neighbourhood-
+		// parallel scheduler for every member, unless the search options
+		// already pin a width.
+		if opts.MaxConcurrentEvals == 0 {
+			opts.MaxConcurrentEvals = pol.MaxConcurrentEvals
+		}
 		member := i
+		userNeighborhood := opts.NeighborhoodObserver
+		opts.NeighborhoodObserver = func(nb optimize.Neighborhood) {
+			if userNeighborhood != nil {
+				userNeighborhood(nb)
+			}
+			j.emit(neighborhoodDoneEvent(j.id, member, nb))
+		}
 		userObserver := opts.Observer
 		opts.Observer = func(v optimize.Visit) {
 			if userObserver != nil {
@@ -431,6 +444,16 @@ func (o *fleetObjective) EvaluateF(ctx context.Context, p Point, incumbent float
 	return o.engine.EvaluateF(ctx, p, incumbent)
 }
 
+// ReserveSlots implements eval.SlotEvaluator: the neighbourhood-parallel
+// scheduler reserves the member's evaluation slots upfront, keeping sample
+// seeds independent of completion order.
+func (o *fleetObjective) ReserveSlots(n int) (int, bool) { return o.engine.ReserveSlots(n) }
+
+// EvaluateSlotF implements eval.SlotEvaluator.
+func (o *fleetObjective) EvaluateSlotF(ctx context.Context, p Point, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return o.engine.EvaluateSlotF(ctx, p, incumbent, slot)
+}
+
 // VarActivity implements optimize.ActivitySource with the member's
 // scope-local conflict activity.
 func (o *fleetObjective) VarActivity(v Var) float64 { return o.scope.VarActivity(v) }
@@ -453,6 +476,14 @@ func (b scopeBackend) EvaluateBudgeted(ctx context.Context, p Point, pol EvalPol
 	}
 	ev := pe.Evaluation()
 	return &ev, err
+}
+
+// ReserveEvalSlots implements eval.SlotBackend on the member's scope.
+func (b scopeBackend) ReserveEvalSlots(n int) int { return b.scope.ReserveEvalSlots(n) }
+
+// EvaluateSlot implements eval.SlotBackend.
+func (b scopeBackend) EvaluateSlot(ctx context.Context, p Point, pol EvalPolicy, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return b.scope.EvaluateSlotObserved(ctx, p, pol, incumbent, slot, memberSampleObserver(b.j, b.member))
 }
 
 // FleetJob submits a fleet job: Submit with a typed spec.

@@ -140,9 +140,22 @@ func (spec SearchJob) run(ctx context.Context, j *Job) (*JobResult, error) {
 	// One engine for the whole search: the optimizer threads its incumbent
 	// through the jobObjective into the engine, which prunes, stages and
 	// memoizes according to the job's effective policy.
-	engine := s.engineFor(j, s.policyFor(spec.Policy))
+	pol := s.policyFor(spec.Policy)
+	engine := s.engineFor(j, pol)
 	obj := &jobObjective{session: s, job: j, engine: engine}
 	opts := s.cfg.Search
+	// The policy's evaluation concurrency selects the neighbourhood-parallel
+	// scheduler unless the search options already pin a width.
+	if opts.MaxConcurrentEvals == 0 {
+		opts.MaxConcurrentEvals = pol.MaxConcurrentEvals
+	}
+	userNeighborhood := opts.NeighborhoodObserver
+	opts.NeighborhoodObserver = func(nb optimize.Neighborhood) {
+		if userNeighborhood != nil {
+			userNeighborhood(nb)
+		}
+		j.emit(neighborhoodDoneEvent(j.id, 0, nb))
+	}
 	// Emit a SearchVisit per optimizer step, chaining (not replacing) an
 	// observer the session's configuration already carries.
 	userObserver := opts.Observer
@@ -215,8 +228,37 @@ func (o *jobObjective) EvaluateF(ctx context.Context, p Point, incumbent float64
 	return ev, nil
 }
 
+// ReserveSlots implements eval.SlotEvaluator: the neighbourhood-parallel
+// scheduler reserves the evaluation indexes of a whole submission upfront,
+// which keeps every candidate's derived sample seeds independent of the
+// completion order.
+func (o *jobObjective) ReserveSlots(n int) (int, bool) { return o.engine.ReserveSlots(n) }
+
+// EvaluateSlotF implements eval.SlotEvaluator.
+func (o *jobObjective) EvaluateSlotF(ctx context.Context, p Point, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return o.engine.EvaluateSlotF(ctx, p, incumbent, slot)
+}
+
 // VarActivity implements optimize.ActivitySource.
 func (o *jobObjective) VarActivity(v Var) float64 { return o.session.runner.VarActivity(v) }
+
+// neighborhoodDoneEvent converts an optimizer neighbourhood pass summary
+// into the job event.
+func neighborhoodDoneEvent(job string, member int, nb optimize.Neighborhood) NeighborhoodDone {
+	return NeighborhoodDone{
+		Job:        job,
+		Member:     member,
+		Center:     nb.Center.SortedVars(),
+		Radius:     nb.Radius,
+		Candidates: nb.Candidates,
+		Evaluated:  nb.Evaluated,
+		Pruned:     nb.Pruned,
+		Cancelled:  nb.Cancelled,
+		Improved:   nb.Improved,
+		BestValue:  nb.BestValue,
+		Width:      nb.Width,
+	}
+}
 
 // SolveJob processes the whole decomposition family induced by a set:
 // enumerate every assignment, solve every subproblem.  It emits a

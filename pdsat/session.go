@@ -266,6 +266,17 @@ func (b sessionBackend) EvaluateBudgeted(ctx context.Context, p Point, pol EvalP
 	return &ev, err
 }
 
+// ReserveEvalSlots implements eval.SlotBackend: the neighbourhood-parallel
+// scheduler reserves the evaluation indexes of a whole submission upfront,
+// keeping every candidate's derived sample seeds independent of the
+// completion order.
+func (b sessionBackend) ReserveEvalSlots(n int) int { return b.s.runner.ReserveEvalSlots(n) }
+
+// EvaluateSlot implements eval.SlotBackend.
+func (b sessionBackend) EvaluateSlot(ctx context.Context, p Point, pol EvalPolicy, incumbent float64, slot int) (*eval.Evaluation, error) {
+	return b.s.runner.EvaluateSlotObserved(ctx, p, pol, incumbent, slot, sampleObserver(b.j))
+}
+
 // engineFor builds the budget-aware evaluation engine for one job: the
 // session's runner as backend, the session's shared F-cache (when the
 // policy enables it), and pruning/cache-hit notifications wired into the
@@ -341,6 +352,16 @@ type SessionStats struct {
 	// cancellations.
 	SubproblemsSolved  int `json:"subproblems_solved"`
 	SubproblemsAborted int `json:"subproblems_aborted"`
+	// SamplesPlanned counts the Monte Carlo samples committed by
+	// predictive-function evaluations; SamplesSkipped the planned samples
+	// never dispatched to a solver (their whole batch was aborted first, or
+	// they fell outside a stage's budget).  The ledger balances exactly:
+	// SamplesPlanned == SubproblemsSolved + SubproblemsAborted +
+	// SamplesSkipped for sessions running only estimations and searches
+	// (Solve jobs process decomposition families outside the sample ledger
+	// but inside the solved/aborted counters).
+	SamplesPlanned int `json:"samples_planned"`
+	SamplesSkipped int `json:"samples_skipped"`
 	// Cache is the cross-search F-cache's hit/miss/size counters.
 	Cache eval.CacheStats `json:"cache"`
 }
@@ -352,6 +373,8 @@ func (s *Session) Stats() SessionStats {
 		PrunedEvaluations:  s.runner.PrunedEvaluations(),
 		SubproblemsSolved:  s.runner.SubproblemsSolved(),
 		SubproblemsAborted: s.runner.SubproblemsAborted(),
+		SamplesPlanned:     s.runner.SamplesPlanned(),
+		SamplesSkipped:     s.runner.SamplesSkipped(),
 		Cache:              s.fcache.Stats(),
 	}
 }
