@@ -140,7 +140,7 @@ func run() error {
 	// streams of whatever jobs are running once the session exists.
 	var sessionRef atomic.Pointer[pdsat.Session]
 	if *listen != "" {
-		leader, err := cluster.Listen(*listen, problem.Formula, cluster.LeaderOptions{
+		leader, lerr := cluster.Listen(*listen, problem.Formula, cluster.LeaderOptions{
 			SolverOptions: cfg.Runner.SolverOptions,
 			Logf:          logToStderr,
 			OnWorkerJoined: func(name string, slots int) {
@@ -154,14 +154,14 @@ func run() error {
 				}
 			},
 		})
-		if err != nil {
-			return err
+		if lerr != nil {
+			return lerr
 		}
 		defer leader.Close()
 		fmt.Printf("cluster: leader listening on %s, waiting for %d worker(s)\n",
 			leader.Addr(), *minWorkers)
-		if err := leader.WaitForWorkers(ctx, *minWorkers); err != nil {
-			return err
+		if werr := leader.WaitForWorkers(ctx, *minWorkers); werr != nil {
+			return werr
 		}
 		fmt.Printf("cluster: %d worker(s) joined, %d slot(s) total\n",
 			leader.WorkerCount(), leader.Workers())

@@ -55,9 +55,9 @@ func main() {
 		}
 
 		if i == 0 {
-			est, err := engine.EstimateStartSet(ctx)
-			if err != nil {
-				log.Fatal(err)
+			est, eerr := engine.EstimateStartSet(ctx)
+			if eerr != nil {
+				log.Fatal(eerr)
 			}
 			prediction = est.Estimate.Value
 			vars = make([]int, len(est.Vars))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,11 +57,11 @@ type Leader struct {
 	opts    LeaderOptions
 
 	mu       sync.Mutex
-	workers  map[uint64]*remoteWorker
-	nextID   uint64
-	batch    *netBatch
-	batchSeq uint64
-	closed   bool
+	workers  map[uint64]*remoteWorker // guarded by mu
+	nextID   uint64                   // guarded by mu
+	batch    *netBatch                // guarded by mu
+	batchSeq uint64                   // guarded by mu
+	closed   bool                     // guarded by mu
 
 	// runMu serializes Run calls: the wire protocol tracks one active
 	// batch at a time.
@@ -168,10 +169,7 @@ func (l *Leader) Close() error {
 		return nil
 	}
 	l.closed = true
-	ws := make([]*remoteWorker, 0, len(l.workers))
-	for _, rw := range l.workers {
-		ws = append(ws, rw)
-	}
+	ws := workersByIDLocked(l.workers)
 	if b := l.batch; b != nil {
 		wakeLocked(b)
 	}
@@ -296,14 +294,21 @@ func (l *Leader) dropWorker(rw *remoteWorker, cause error) {
 	delete(l.workers, rw.id)
 	requeued := 0
 	if b := l.batch; b != nil {
-		for idx, t := range rw.inflight {
+		// Requeue in task-index order, not map order, so the surviving
+		// workers see the lost worker's tasks in a stable sequence.
+		idxs := make([]int, 0, len(rw.inflight))
+		for idx := range rw.inflight {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
 			if b.got[idx] {
 				continue
 			}
 			if b.cancelled {
 				placeholderLocked(b, idx)
 			} else {
-				b.pending = append(b.pending, t)
+				b.pending = append(b.pending, rw.inflight[idx])
 				requeued++
 			}
 		}
@@ -407,16 +412,25 @@ func (l *Leader) broadcastAbort(batchID uint64) {
 // whose connection fails.
 func (l *Leader) broadcast(env *envelope) {
 	l.mu.Lock()
-	ws := make([]*remoteWorker, 0, len(l.workers))
-	for _, rw := range l.workers {
-		ws = append(ws, rw)
-	}
+	ws := workersByIDLocked(l.workers)
 	l.mu.Unlock()
 	for _, rw := range ws {
 		if err := rw.w.send(env); err != nil {
 			l.dropWorker(rw, err)
 		}
 	}
+}
+
+// workersByIDLocked snapshots the worker map in registration (id) order so
+// broadcast, shutdown and task assignment walk the workers deterministically
+// instead of in map-iteration order (callers hold Leader.mu).
+func workersByIDLocked(workers map[uint64]*remoteWorker) []*remoteWorker {
+	ws := make([]*remoteWorker, 0, len(workers))
+	for _, rw := range workers {
+		ws = append(ws, rw)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+	return ws
 }
 
 // assign hands pending tasks to workers with spare slots.  Each worker is
@@ -433,7 +447,7 @@ func (l *Leader) assign(b *netBatch) {
 		l.mu.Unlock()
 		return
 	}
-	for _, rw := range l.workers {
+	for _, rw := range workersByIDLocked(l.workers) {
 		spare := rw.capacity*2 - len(rw.inflight)
 		if spare <= 0 {
 			continue

@@ -104,8 +104,8 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 		}
 	}()
 
-	if err := w.send(helloFor(opts.Name, opts.Capacity)); err != nil {
-		return err
+	if serr := w.send(helloFor(opts.Name, opts.Capacity)); serr != nil {
+		return serr
 	}
 	env, err := w.recv(handshakeTimeout)
 	if err != nil {
@@ -175,7 +175,7 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 			}
 			if batch == nil || batch.id != env.Batch {
 				batch.stop()
-				batch = newWorkerBatch(env.Batch, *env.Opts, exec, w)
+				batch = newWorkerBatch(ctx, env.Batch, *env.Opts, exec, w)
 			}
 			batch.q.push(env.Tasks)
 		case kindInterrupt, kindAbort:
@@ -210,8 +210,8 @@ type workerBatch struct {
 	wg     sync.WaitGroup
 }
 
-func newWorkerBatch(id uint64, opts BatchOptions, exec *Inproc, w *wire) *workerBatch {
-	ctx, cancel := context.WithCancel(context.Background())
+func newWorkerBatch(parent context.Context, id uint64, opts BatchOptions, exec *Inproc, w *wire) *workerBatch {
+	ctx, cancel := context.WithCancel(parent)
 	b := &workerBatch{id: id, opts: opts, cancel: cancel, q: newTaskQueue()}
 	for i := 0; i < exec.Workers(); i++ {
 		b.wg.Add(1)

@@ -330,9 +330,9 @@ type CacheStats struct {
 // The zero *Cache (nil) is a valid disabled cache.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    uint64
-	misses  uint64
+	entries map[string]*cacheEntry // guarded by mu
+	hits    uint64                 // guarded by mu
+	misses  uint64                 // guarded by mu
 }
 
 type cacheEntry struct {

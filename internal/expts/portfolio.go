@@ -59,8 +59,8 @@ func RunPortfolioVsPartitioning(ctx context.Context, scale Scale) (*PortfolioVsP
 	}
 	portfolioOK := false
 	if pres.Status == solver.Sat {
-		ok, err := inst.CheckRecoveredState(gen, pres.Model)
-		portfolioOK = ok && err == nil
+		ok, checkErr := inst.CheckRecoveredState(gen, pres.Model)
+		portfolioOK = ok && checkErr == nil
 	}
 
 	// Partitioning of the unknown start variables with stop-on-SAT.

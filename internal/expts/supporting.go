@@ -134,13 +134,13 @@ func RunSAvsTabu(ctx context.Context, scale Scale) (*SAvsTabuResult, error) {
 	res := &SAvsTabuResult{Scale: scale, Budget: scale.SearchEvaluations}
 
 	run := func(method string) (*api.SearchOutcome, error) {
-		eng, err := api.NewSession(api.FromInstance(inst), api.Config{
+		eng, serr := api.NewSession(api.FromInstance(inst), api.Config{
 			Runner: scale.runnerConfig(scale.SearchSamples),
 			Search: scale.searchOptions(),
 			Cores:  scale.Cores,
 		})
-		if err != nil {
-			return nil, err
+		if serr != nil {
+			return nil, serr
 		}
 		return eng.SearchFrom(ctx, method, eng.Space().FullPoint())
 	}

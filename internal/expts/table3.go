@@ -149,9 +149,9 @@ func runWeakenedProblem(ctx context.Context, scale Scale, prob WeakenedProblem) 
 		if i == 0 {
 			// The estimation is computed for the first instance of the
 			// series, exactly as in the paper.
-			est, err := eng.EstimateSet(ctx, vars)
-			if err != nil {
-				return nil, err
+			est, estErr := eng.EstimateSet(ctx, vars)
+			if estErr != nil {
+				return nil, estErr
 			}
 			row.SetSize = len(est.Vars)
 			row.Predicted1Core = est.Estimate.Value

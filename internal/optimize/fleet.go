@@ -52,8 +52,8 @@ type Incumbent struct {
 	bits atomic.Uint64 // Float64bits of the current best value
 
 	mu     sync.Mutex
-	point  decomp.Point
-	member int
+	point  decomp.Point // guarded by mu
+	member int          // guarded by mu
 
 	// OnImproved, when non-nil, is called (under the incumbent's lock, so
 	// notifications arrive in improvement order) for every accepted offer.
@@ -206,6 +206,7 @@ func RunFleet(ctx context.Context, members []FleetMember, opts FleetOptions) (*F
 	if shared == nil {
 		shared = NewIncumbent()
 	}
+	//pdsat:nondeterministic WallTime reporting only; member results stay seed-deterministic
 	start := time.Now()
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -219,7 +220,7 @@ func RunFleet(ctx context.Context, members []FleetMember, opts FleetOptions) (*F
 			o.Shared = shared.MemberView(i)
 		}
 		wg.Add(1)
-		go func(i int, m FleetMember, o Options) {
+		go func() {
 			defer wg.Done()
 			var res *Result
 			var err error
@@ -242,7 +243,7 @@ func RunFleet(ctx context.Context, members []FleetMember, opts FleetOptions) (*F
 				// or proved there is nothing left to explore from its start.
 				cancel()
 			}
-		}(i, m, o)
+		}()
 	}
 	wg.Wait()
 
@@ -250,7 +251,8 @@ func RunFleet(ctx context.Context, members []FleetMember, opts FleetOptions) (*F
 		Members:   results,
 		Best:      -1,
 		BestValue: math.Inf(1),
-		WallTime:  time.Since(start),
+		//pdsat:nondeterministic WallTime reporting only
+		WallTime: time.Since(start),
 	}
 	var firstErr error
 	for i, mr := range results {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/paper-repro/pdsat-go/internal/cnf"
@@ -295,9 +296,10 @@ type search struct {
 
 func newSearch(obj Objective, opts Options) *search {
 	s := &search{
-		obj:       obj,
-		opts:      opts,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
+		obj:  obj,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		//pdsat:nondeterministic anchors the MaxTime budget and WallTime reporting; never feeds F values
 		start:     time.Now(),
 		values:    make(map[string]float64),
 		prunedPts: make(map[string]bool),
@@ -380,6 +382,7 @@ func (s *search) checkBudgets(ctx context.Context) error {
 		s.stopped = StopEvaluations
 		return errStop
 	}
+	//pdsat:nondeterministic MaxTime is an explicitly wall-clock stop; callers wanting reproducible runs use MaxEvaluations
 	if s.opts.MaxTime > 0 && time.Since(s.start) >= s.opts.MaxTime {
 		s.stopped = StopTime
 		return errStop
@@ -431,7 +434,8 @@ func (s *search) result(best decomp.Point, bestValue float64) *Result {
 		Evaluations: s.evals,
 		Trace:       s.trace,
 		Stop:        s.stopped,
-		WallTime:    time.Since(s.start),
+		//pdsat:nondeterministic WallTime is reporting-only; it never influences the search
+		WallTime: time.Since(s.start),
 	}
 }
 
@@ -769,10 +773,16 @@ func (t *tabuLists) getNewCenter(obj Objective) (decomp.Point, bool) {
 		return decomp.Point{}, false
 	}
 	src, hasActivity := obj.(ActivitySource)
+	keys := make([]string, 0, len(t.l2))
+	for key := range t.l2 {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	var bestKey string
 	var bestScore float64
 	first := true
-	for key, e := range t.l2 {
+	for _, key := range keys {
+		e := t.l2[key]
 		var score float64
 		if hasActivity {
 			for _, v := range e.point.Vars() {
@@ -781,7 +791,7 @@ func (t *tabuLists) getNewCenter(obj Objective) (decomp.Point, bool) {
 		} else {
 			score = -e.value // smaller F = larger score
 		}
-		if first || score > bestScore || (score == bestScore && key < bestKey) {
+		if first || score > bestScore {
 			bestKey, bestScore, first = key, score, false
 		}
 	}

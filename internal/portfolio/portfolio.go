@@ -190,7 +190,7 @@ func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
 		s.Reset()
 		s.SetBudget(p.opts.MemberBudget)
 		wg.Add(1)
-		go func(m Member, s *solver.Solver) {
+		go func() {
 			defer wg.Done()
 			select {
 			case sem <- struct{}{}:
@@ -208,7 +208,7 @@ func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
 				s.Interrupt()
 				resCh <- memberResult{name: m.Name, res: <-done}
 			}
-		}(m, s)
+		}()
 	}
 
 	result := &Result{Status: solver.Unknown, MemberStats: make(map[string]solver.Stats, len(members))}
@@ -227,8 +227,13 @@ func (p *Portfolio) Solve(ctx context.Context) (*Result, error) {
 	if result.Winner == "" {
 		result.WallTime = time.Since(start)
 	}
-	for _, st := range result.MemberStats {
-		result.TotalCost += solver.EffortCost(st, p.opts.CostMetric)
+	// Sum in member order, not map order: float addition is not
+	// associative, so ranging over the map would make TotalCost depend on
+	// iteration order.
+	for _, m := range members {
+		if st, ok := result.MemberStats[m.Name]; ok {
+			result.TotalCost += solver.EffortCost(st, p.opts.CostMetric)
+		}
 	}
 	if err := ctx.Err(); err != nil && result.Winner == "" {
 		return result, err

@@ -959,6 +959,7 @@ func (s *Solver) outOfBudget() bool {
 	if s.budget.MaxPropagations > 0 && s.stats.Propagations >= s.budget.MaxPropagations {
 		return true
 	}
+	//pdsat:nondeterministic Budget.MaxTime is an explicitly wall-clock limit; deterministic truncation uses the conflict/propagation budgets
 	if !s.deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(s.deadline) {
 		return true
 	}
@@ -1040,6 +1041,7 @@ func (s *Solver) Solve() Result { return s.SolveWithAssumptions(nil) }
 func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
 	s.ensureBase()
 	s.everSolved = true
+	//pdsat:nondeterministic start time only anchors the MaxTime deadline and SolveTime reporting
 	s.startTime = time.Now()
 	if s.budget.MaxTime > 0 {
 		s.deadline = s.startTime.Add(s.budget.MaxTime)
@@ -1050,6 +1052,7 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
 	res = Result{Status: Unknown}
 	defer func() {
 		res.Stats = diffStats(s.stats, startStats)
+		//pdsat:nondeterministic SolveTime is reporting-only; cost metrics used for F default to solver counters
 		res.Stats.SolveTime = time.Since(s.startTime)
 	}()
 

@@ -1,7 +1,6 @@
 package pdsat
 
 import (
-	"context"
 	"sync"
 )
 
@@ -281,11 +280,11 @@ func (Done) EventKind() string { return "done" }
 // the terminal Done.  Appending never blocks on subscribers.
 type eventLog struct {
 	mu     sync.Mutex
-	events []Event
-	done   bool
+	events []Event // guarded by mu
+	done   bool    // guarded by mu
 	// change is closed and replaced whenever events grow or done flips;
 	// subscribers wait on it instead of polling.
-	change chan struct{}
+	change chan struct{} // guarded by mu
 }
 
 func newEventLog() *eventLog {
@@ -332,9 +331,9 @@ func (l *eventLog) snapshot(offset int) ([]Event, bool, <-chan struct{}) {
 
 // subscribe streams the full ordered event history plus live appends into a
 // fresh channel.  The channel is closed after the terminal event has been
-// delivered, or early when ctx is cancelled (the stream is then truncated
-// but still ordered).
-func (l *eventLog) subscribe(ctx context.Context) <-chan Event {
+// delivered, or early when stop is closed (the stream is then truncated but
+// still ordered).  A nil stop never fires, yielding the full stream.
+func (l *eventLog) subscribe(stop <-chan struct{}) <-chan Event {
 	out := make(chan Event)
 	go func() {
 		defer close(out)
@@ -344,7 +343,7 @@ func (l *eventLog) subscribe(ctx context.Context) <-chan Event {
 			for _, e := range events {
 				select {
 				case out <- e:
-				case <-ctx.Done():
+				case <-stop:
 					return
 				}
 			}
@@ -354,7 +353,7 @@ func (l *eventLog) subscribe(ctx context.Context) <-chan Event {
 			}
 			select {
 			case <-change:
-			case <-ctx.Done():
+			case <-stop:
 				return
 			}
 		}

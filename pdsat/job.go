@@ -324,8 +324,8 @@ type Job struct {
 	done    chan struct{}
 
 	mu     sync.Mutex
-	result *JobResult
-	err    error
+	result *JobResult // guarded by mu
+	err    error      // guarded by mu
 }
 
 // Submit validates the spec, registers a job and starts it asynchronously.
@@ -394,11 +394,11 @@ func (j *Job) Kind() JobKind { return j.kind }
 // for the life of the process (nothing ever cancels its pending send);
 // a consumer that may detach early must use Subscribe with a cancellable
 // context instead.
-func (j *Job) Events() <-chan Event { return j.log.subscribe(context.Background()) }
+func (j *Job) Events() <-chan Event { return j.log.subscribe(nil) }
 
 // Subscribe is Events with a detach handle: the returned channel closes
 // when the stream ends or ctx is cancelled, whichever comes first.
-func (j *Job) Subscribe(ctx context.Context) <-chan Event { return j.log.subscribe(ctx) }
+func (j *Job) Subscribe(ctx context.Context) <-chan Event { return j.log.subscribe(ctx.Done()) }
 
 // Done returns a channel closed when the job has finished (its result and
 // error are then final and the Done event has been emitted).
@@ -414,6 +414,18 @@ func (j *Job) Result(ctx context.Context) (*JobResult, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// finishedResult waits for the job to finish and returns its final result
+// and error.  Unlike Result it takes no context: callers use it when the
+// wait must be on the job alone (whose own context already makes it finish
+// promptly), never racing a second context that could drop the partial
+// result of an interrupted run.
+func (j *Job) finishedResult() (*JobResult, error) {
+	<-j.done
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.err

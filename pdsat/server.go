@@ -355,7 +355,7 @@ func jobStatus(j *Job) jobStatusJSON {
 	if !j.Finished() {
 		return st
 	}
-	result, err := j.Result(context.Background())
+	result, err := j.finishedResult()
 	switch {
 	case err == nil:
 		st.State = "done"

@@ -60,10 +60,10 @@ type Session struct {
 	fcache *eval.Cache
 
 	mu     sync.Mutex
-	jobs   []*Job
-	byID   map[string]*Job
-	nextID int
-	closed bool
+	jobs   []*Job          // guarded by mu
+	byID   map[string]*Job // guarded by mu
+	nextID int             // guarded by mu
+	closed bool            // guarded by mu
 }
 
 // NewSession creates a session for the problem.
@@ -581,5 +581,5 @@ func (s *Session) runToCompletion(ctx context.Context, spec JobSpec) (*JobResult
 		return nil, err
 	}
 	<-j.Done()
-	return j.Result(context.Background())
+	return j.finishedResult()
 }

@@ -1,0 +1,3 @@
+module github.com/paper-repro/pdsat-go/tools/pdsatlint
+
+go 1.24

@@ -1,0 +1,48 @@
+// Package analysis is a dependency-free subset of the golang.org/x/tools
+// go/analysis API.  The container this project builds in has no module
+// proxy access, so the multichecker cannot depend on x/tools; pdsatlint
+// therefore ships the small part of the surface it needs — Analyzer, Pass
+// and Diagnostic — with the same field names and semantics, so the
+// analyzers read like ordinary go/analysis analyzers and could be ported
+// to the real framework by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("determinism", ...).
+	Name string
+	// Doc is the analyzer's help text; the first line is its summary.
+	Doc string
+	// Run applies the analyzer to one package.  Findings are delivered
+	// through pass.Report; the result value is unused by this driver.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between the driver and one analyzer run on one
+// package: the package's syntax, type information and a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,159 @@
+// Package analysistest is a golden-file harness in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixture packages live
+// under testdata/src/<importpath>/, and every line that should produce a
+// diagnostic carries a `// want "<regexp>"` comment.  The harness
+// type-checks the fixture (standard-library imports are resolved through
+// export data produced by `go list -export`, which works offline), runs
+// one analyzer and diffs the reported diagnostics against the
+// expectations.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/load"
+)
+
+// stdLoader is shared across tests: building the standard-library export
+// map shells out to the go command once per process.
+var (
+	stdOnce   sync.Once
+	stdLoader *load.Loader
+	stdErr    error
+)
+
+func loader() (*load.Loader, error) {
+	stdOnce.Do(func() {
+		stdLoader, stdErr = load.StdImporter("std")
+	})
+	return stdLoader, stdErr
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one `// want "re"` entry.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at testdata/src/<importPath>, applies
+// the analyzer and checks the diagnostics against the fixture's
+// `// want "re"` comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	l, err := loader()
+	if err != nil {
+		t.Fatalf("building standard-library importer: %v", err)
+	}
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(importPath))
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	files, err := l.ParseFiles("", matches)
+	if err != nil {
+		t.Fatalf("parsing fixtures: %v", err)
+	}
+	pkg, info, err := l.CheckFiles(importPath, files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+
+	// Expectations: file -> line -> entries.
+	want := map[string]map[int][]*expectation{}
+	for _, f := range files {
+		addExpectations(t, l.Fset, f, want)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range got {
+		pos := l.Fset.Position(d.Pos)
+		var match *expectation
+		for _, exp := range want[pos.Filename][pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				match = exp
+				break
+			}
+		}
+		if match == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		match.matched = true
+	}
+	for file, lines := range want {
+		for line, exps := range lines {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, exp.re)
+				}
+			}
+		}
+	}
+}
+
+// addExpectations parses `// want "re"` (one or more quoted regexps per
+// comment) from a file's comments into the expectation map.
+func addExpectations(t *testing.T, fset *token.FileSet, f *ast.File, want map[string]map[int][]*expectation) {
+	t.Helper()
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				delim := rest[0]
+				if delim != '"' && delim != '`' {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				end := 1
+				for end < len(rest) && (rest[end] != delim || (delim == '"' && rest[end-1] == '\\')) {
+					end++
+				}
+				if end >= len(rest) {
+					t.Fatalf("%s: unterminated want pattern: %s", pos, c.Text)
+				}
+				quoted := rest[:end+1]
+				rest = strings.TrimSpace(rest[end+1:])
+				unquoted, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", pos, quoted, err)
+				}
+				re, err := regexp.Compile(unquoted)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %s: %v", pos, quoted, err)
+				}
+				perFile := want[pos.Filename]
+				if perFile == nil {
+					perFile = map[int][]*expectation{}
+					want[pos.Filename] = perFile
+				}
+				perFile[pos.Line] = append(perFile[pos.Line], &expectation{re: re})
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package checkers holds pdsatlint's analyzers: project-specific checks
+// that turn the repository's determinism, locking and accounting
+// invariants into compile-time gates, plus a shadow check standing in
+// for the x/tools vet analyzer that an offline build cannot fetch.
+package checkers
+
+import "github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+
+// All is the multichecker's analyzer suite, in reporting order.
+var All = []*analysis.Analyzer{
+	Determinism,
+	GuardedFields,
+	CtxDiscipline,
+	Ledger,
+	Shadow,
+}

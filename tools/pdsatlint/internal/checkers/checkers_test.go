@@ -1,0 +1,36 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysistest"
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/checkers"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Determinism, "internal/eval")
+}
+
+func TestDeterminismOutsideDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Determinism, "plain")
+}
+
+func TestGuardedFields(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.GuardedFields, "guarded")
+}
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.CtxDiscipline, "ctxfix")
+}
+
+func TestCtxDisciplineMainPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.CtxDiscipline, "mainpkg")
+}
+
+func TestLedger(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Ledger, "ledgerfix")
+}
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", checkers.Shadow, "shadowfix")
+}

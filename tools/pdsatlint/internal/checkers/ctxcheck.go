@@ -1,0 +1,92 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+)
+
+// CtxDiscipline enforces the repository's context conventions:
+//
+//   - context.Context is the first parameter of any function that takes
+//     one (receivers excluded);
+//   - contexts are never stored in struct fields, except in the
+//     sanctioned job types (struct names ending in "Job" — a job owns
+//     its lifecycle);
+//   - context.Background()/context.TODO() appear only in package main,
+//     in examples, and in tests (test files are not analyzed at all);
+//     library code must thread the caller's context.
+var CtxDiscipline = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "context.Context first parameter, never stored in structs, no Background/TODO outside main/examples/tests",
+	Run:  runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *analysis.Pass) (any, error) {
+	allowBackground := pass.Pkg.Name() == "main" ||
+		strings.HasPrefix(pass.Pkg.Path(), "examples/") ||
+		strings.Contains(pass.Pkg.Path(), "/examples/")
+
+	isCtx := func(e ast.Expr) bool {
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Type.Params == nil {
+					return true
+				}
+				index := 0
+				for _, field := range n.Type.Params.List {
+					width := len(field.Names)
+					if width == 0 {
+						width = 1
+					}
+					if isCtx(field.Type) && index != 0 {
+						pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s (found at parameter %d)",
+							funcName(n), index)
+					}
+					index += width
+				}
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				if strings.HasSuffix(n.Name.Name, "Job") {
+					return true // sanctioned job types own their lifecycle
+				}
+				for _, field := range st.Fields.List {
+					if isCtx(field.Type) {
+						pass.Reportf(field.Pos(), "struct %s stores a context.Context; thread it through calls instead (only the sanctioned job types may hold one)",
+							n.Name.Name)
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if (fn.Name() == "Background" || fn.Name() == "TODO") && !allowBackground {
+					pass.Reportf(n.Pos(), "context.%s() in library package %s; accept and thread the caller's context",
+						fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

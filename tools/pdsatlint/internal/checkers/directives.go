@@ -1,0 +1,121 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+)
+
+// nondetPrefix is the determinism escape directive.  It must carry a
+// justification: `//pdsat:nondeterministic wall-clock reporting only`.
+const nondetPrefix = "//pdsat:nondeterministic"
+
+// nondetDirectives maps file name -> line -> justification for every
+// //pdsat:nondeterministic directive in the package.  Directives with an
+// empty justification are recorded too (the analyzer rejects them
+// separately), so a bare directive still suppresses nothing.
+type nondetDirectives map[string]map[int]string
+
+func collectNondet(pass *analysis.Pass) nondetDirectives {
+	dirs := nondetDirectives{}
+	for _, file := range pass.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, nondetPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, nondetPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //pdsat:nondeterministic-ish — not the directive
+				}
+				pos := pass.Fset.Position(c.Pos())
+				perFile := dirs[pos.Filename]
+				if perFile == nil {
+					perFile = map[int]string{}
+					dirs[pos.Filename] = perFile
+				}
+				reason := strings.TrimSpace(rest)
+				if strings.HasPrefix(reason, "//") {
+					// A comment following the directive is not a
+					// justification.
+					reason = ""
+				}
+				perFile[pos.Line] = reason
+			}
+		}
+	}
+	return dirs
+}
+
+// reportBare emits a diagnostic for every directive without a
+// justification.  It runs in every package, so a justification-less
+// escape can't hide in a package the determinism checks don't cover.
+func (d nondetDirectives) reportBare(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, nondetPrefix) {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if perFile := d[pos.Filename]; perFile != nil && perFile[pos.Line] == "" {
+					if _, ok := perFile[pos.Line]; ok {
+						pass.Reportf(c.Pos(), "pdsat:nondeterministic directive needs a justification (\"%s <reason>\")", nondetPrefix)
+					}
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether the node at pos is covered by a justified
+// directive: on the same line, on the line directly above, or in the doc
+// comment of the enclosing function declaration.
+func (d nondetDirectives) suppressed(fset *token.FileSet, pos token.Pos, enclosing *ast.FuncDecl) bool {
+	p := fset.Position(pos)
+	if perFile := d[p.Filename]; perFile != nil {
+		if perFile[p.Line] != "" || perFile[p.Line-1] != "" {
+			return true
+		}
+	}
+	if enclosing != nil && enclosing.Doc != nil {
+		for _, c := range enclosing.Doc.List {
+			dp := fset.Position(c.Pos())
+			if perFile := d[dp.Filename]; perFile != nil && perFile[dp.Line] != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// withEnclosingFunc walks every file of the pass, invoking fn for each
+// node with the function declaration lexically enclosing it (nil at file
+// scope).  Returning false from fn prunes the subtree.
+func withEnclosingFunc(pass *analysis.Pass, fn func(n ast.Node, enclosing *ast.FuncDecl) bool) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					if n == nil {
+						return true
+					}
+					return fn(n, decl)
+				})
+			default:
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if n == nil {
+						return true
+					}
+					return fn(n, nil)
+				})
+			}
+		}
+	}
+}

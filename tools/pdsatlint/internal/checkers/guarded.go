@@ -1,0 +1,286 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+)
+
+// GuardedFields enforces `// guarded by <mu>` field annotations: a field
+// so annotated may only be accessed lexically inside a function that
+// locks that mutex, or inside a function annotated `// requires <mu>`
+// (callers hold the lock).  The check is flow-insensitive by design — it
+// catches the common regression (a new call site touching shared state
+// without the lock) without attempting alias analysis.
+//
+// Two guard spellings are supported:
+//
+//   - `// guarded by mu` — mu is a sibling field of the same struct; an
+//     access x.f is satisfied by an x.mu.Lock()/RLock() call (textually
+//     the same base expression x) in the enclosing function.
+//   - `// guarded by Leader.mu` — the guard lives on another struct of
+//     the same package (the cluster leader owns its workers' book-keeping);
+//     an access is satisfied by a Lock/RLock call on the mu field of any
+//     expression of type Leader in the enclosing function.
+//
+// Constructor exemption: accesses through a local variable that the
+// function itself created with a composite literal of the struct type
+// are skipped — the value has not escaped yet, so no lock can or need be
+// held.
+var GuardedFields = &analysis.Analyzer{
+	Name: "guardedfields",
+	Doc:  "check that fields annotated `// guarded by <mu>` are only accessed with the mutex held",
+	Run:  runGuardedFields,
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`(?i)\bguarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+	// requiresRe matches the whole-line `// requires <mu>` function
+	// annotation (optionally with a trailing period, an explanation
+	// after a colon, or a trailing comment), deliberately strict so
+	// prose like "requires the lock" does not register.
+	requiresRe = regexp.MustCompile(`^requires ([A-Za-z_][A-Za-z0-9_.]*)\.?\s*(:.*|//.*)?$`)
+	// requiresBareRe catches a requires annotation that names no mutex.
+	requiresBareRe = regexp.MustCompile(`^requires\s*(//.*)?$`)
+)
+
+type guardSpec struct {
+	// name is the guard as written ("mu" or "Leader.mu").
+	name string
+	// owner and field split a dotted guard; owner is "" for sibling
+	// guards.
+	owner, field string
+}
+
+func runGuardedFields(pass *analysis.Pass) (any, error) {
+	// Pass 1: collect annotated fields per named struct type.
+	// guards[structName][fieldName] = spec.
+	guards := map[string]map[string]guardSpec{}
+	structFields := map[string]map[string]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fields[name.Name] = true
+				}
+			}
+			structFields[ts.Name.Name] = fields
+			for _, field := range st.Fields.List {
+				guard, pos := fieldGuard(field)
+				if guard == "" {
+					continue
+				}
+				spec := guardSpec{name: guard}
+				if i := strings.LastIndex(guard, "."); i >= 0 {
+					spec.owner, spec.field = guard[:i], guard[i+1:]
+				} else if !fields[guard] {
+					pass.Reportf(pos.Pos(), "guard %q is not a field of struct %s", guard, ts.Name.Name)
+					continue
+				}
+				m := guards[ts.Name.Name]
+				if m == nil {
+					m = map[string]guardSpec{}
+					guards[ts.Name.Name] = m
+				}
+				for _, name := range field.Names {
+					m[name.Name] = spec
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: per function, gather lock facts and check accesses.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncGuards(pass, fd, guards)
+		}
+	}
+	return nil, nil
+}
+
+// fieldGuard extracts a `guarded by <mu>` annotation from a struct
+// field's doc or line comment.
+func fieldGuard(field *ast.Field) (string, ast.Node) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], c
+			}
+		}
+	}
+	return "", nil
+}
+
+type funcGuardFacts struct {
+	// lockedExprs holds the textual bases of mu.Lock()/RLock() calls:
+	// "s.mu" for s.mu.Lock().
+	lockedExprs map[string]bool
+	// lockedOwners holds "Type.field" for each lock call whose base is a
+	// field selector on a value of a named struct type.
+	lockedOwners map[string]bool
+	// requires holds the names from `// requires <mu>` annotations.
+	requires map[string]bool
+	// constructed holds struct type names the function builds with a
+	// composite literal.
+	constructed map[string]bool
+}
+
+func gatherFuncGuardFacts(pass *analysis.Pass, fd *ast.FuncDecl) *funcGuardFacts {
+	facts := &funcGuardFacts{
+		lockedExprs:  map[string]bool{},
+		lockedOwners: map[string]bool{},
+		requires:     map[string]bool{},
+		constructed:  map[string]bool{},
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if m := requiresRe.FindStringSubmatch(text); m != nil {
+				facts.requires[m[1]] = true
+			} else if requiresBareRe.MatchString(text) {
+				pass.Reportf(c.Pos(), "requires annotation names no mutex (want `// requires <mu>`)")
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") || len(n.Args) != 0 {
+				return true
+			}
+			base := ast.Unparen(sel.X)
+			facts.lockedExprs[types.ExprString(base)] = true
+			if fieldSel, ok := base.(*ast.SelectorExpr); ok {
+				if owner := namedStructName(pass.TypesInfo.TypeOf(fieldSel.X)); owner != "" {
+					facts.lockedOwners[owner+"."+fieldSel.Sel.Name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if name := namedStructName(pass.TypesInfo.TypeOf(n)); name != "" {
+				facts.constructed[name] = true
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+func checkFuncGuards(pass *analysis.Pass, fd *ast.FuncDecl, guards map[string]map[string]guardSpec) {
+	facts := gatherFuncGuardFacts(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owner := namedStructName(selection.Recv())
+		if owner == "" {
+			return true
+		}
+		spec, ok := guards[owner][sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		base := ast.Unparen(sel.X)
+		baseStr := types.ExprString(base)
+		if spec.owner == "" {
+			// Sibling guard: x.f needs x.mu locked, `// requires mu`, or
+			// the constructor exemption.
+			if facts.lockedExprs[baseStr+"."+spec.name] {
+				return true
+			}
+			if facts.requires[spec.name] || facts.requires[owner+"."+spec.name] {
+				return true
+			}
+			if id, ok := base.(*ast.Ident); ok && facts.constructed[owner] && isLocalVar(pass.TypesInfo, fd, id) {
+				return true
+			}
+		} else {
+			// Foreign guard ("Leader.mu"): any lock of that type's field
+			// satisfies it.
+			if facts.lockedOwners[spec.name] || facts.requires[spec.name] {
+				return true
+			}
+			if id, ok := base.(*ast.Ident); ok && facts.constructed[owner] && isLocalVar(pass.TypesInfo, fd, id) {
+				return true
+			}
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s neither locks it nor is annotated `// requires %s`",
+			owner, sel.Sel.Name, spec.name, funcName(fd), spec.name)
+		return true
+	})
+}
+
+// namedStructName returns the name of the named struct type underlying t
+// (through one level of pointer), or "".
+func namedStructName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			named, ok = p.Elem().(*types.Named)
+			if !ok {
+				return ""
+			}
+		} else {
+			return ""
+		}
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isLocalVar reports whether id resolves to a variable declared inside
+// fd's body (not a parameter or receiver).
+func isLocalVar(info *types.Info, fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() >= fd.Body.Pos() && v.Pos() <= fd.Body.End()
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

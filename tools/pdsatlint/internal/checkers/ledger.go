@@ -1,0 +1,167 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+)
+
+// Ledger protects the sample-accounting invariant
+//
+//	samplesPlanned == subproblemsSolved + subproblemsAborted + samplesSkipped
+//
+// by demanding that every function mutating one of the paired counters
+// (writing the field, or taking its address) is reachable, through the
+// package-local call graph, from a method of an accounting root type
+// (Scope, or the legacy Runner whose ledger Scope forwards into).  A new
+// helper that bumps a counter directly — bypassing the notePlanned/
+// noteSkipped/absorb bookkeeping — is flagged at its declaration.
+var Ledger = &analysis.Analyzer{
+	Name: "ledger",
+	Doc:  "accounting counters may only be mutated on paths reachable from a Scope method",
+	Run:  runLedger,
+}
+
+// ledgerCounters are the paired accounting fields, in both the unexported
+// spelling the implementation uses and the exported spelling of the
+// public counters.
+var ledgerCounters = map[string]bool{
+	"samplesPlanned":     true,
+	"subproblemsSolved":  true,
+	"subproblemsAborted": true,
+	"samplesSkipped":     true,
+	"SamplesPlanned":     true,
+	"SubproblemsSolved":  true,
+	"SubproblemsAborted": true,
+	"SamplesSkipped":     true,
+}
+
+// ledgerRoots are the receiver type names whose methods constitute the
+// sanctioned accounting surface.
+var ledgerRoots = map[string]bool{"Scope": true, "Runner": true}
+
+func runLedger(pass *analysis.Pass) (any, error) {
+	type funcInfo struct {
+		decl      *ast.FuncDecl
+		obj       *types.Func
+		mutates   []string // counter fields this function writes
+		calls     map[*types.Func]bool
+		isRoot    bool
+		mutatePos token.Pos
+	}
+	var funcs []*funcInfo
+	byObj := map[*types.Func]*funcInfo{}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{decl: fd, obj: obj, calls: map[*types.Func]bool{}}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if name := namedStructName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)); ledgerRoots[name] {
+					fi.isRoot = true
+				}
+			}
+			counterField := func(e ast.Expr) (string, bool) {
+				sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+				if !ok || !ledgerCounters[sel.Sel.Name] {
+					return "", false
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return "", false
+				}
+				return sel.Sel.Name, true
+			}
+			note := func(field string, pos token.Pos) {
+				fi.mutates = append(fi.mutates, field)
+				if fi.mutatePos == token.NoPos {
+					fi.mutatePos = pos
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IncDecStmt:
+					if f, ok := counterField(n.X); ok {
+						note(f, n.Pos())
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if f, ok := counterField(lhs); ok {
+							note(f, n.Pos())
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						if f, ok := counterField(n.X); ok {
+							note(f, n.Pos())
+						}
+					}
+				case *ast.CallExpr:
+					if callee := calleeFunc(pass.TypesInfo, n); callee != nil && callee.Pkg() == pass.Pkg {
+						fi.calls[callee] = true
+					}
+				}
+				return true
+			})
+			funcs = append(funcs, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// BFS from the accounting roots through the package-local call graph.
+	reachable := map[*types.Func]bool{}
+	var queue []*funcInfo
+	for _, fi := range funcs {
+		if fi.isRoot {
+			reachable[fi.obj] = true
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for callee := range fi.calls {
+			if reachable[callee] {
+				continue
+			}
+			reachable[callee] = true
+			if cfi := byObj[callee]; cfi != nil {
+				queue = append(queue, cfi)
+			}
+		}
+	}
+
+	for _, fi := range funcs {
+		if len(fi.mutates) == 0 || reachable[fi.obj] {
+			continue
+		}
+		fields := uniqueSorted(fi.mutates)
+		pass.Reportf(fi.mutatePos, "%s mutates ledger counter(s) %s but is not reachable from a Scope method; route the accounting through the Scope ledger",
+			funcName(fi.decl), strings.Join(fields, ", "))
+	}
+	return nil, nil
+}
+
+func uniqueSorted(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,58 @@
+package checkers
+
+import (
+	"go/token"
+	"go/types"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+)
+
+// Shadow is a conservative reimplementation of the x/tools shadow vet
+// check (shadow is not in the stock `go vet` tool set, and x/tools is
+// unreachable in this offline build): it reports a declaration of a
+// variable that shadows an identically named, identically typed variable
+// from an enclosing scope of the same function, when the shadowed
+// variable is still used after the shadowing scope ends — the pattern
+// where an assignment to the wrong one is a silent bug.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report shadowed variable declarations whose outer variable is used afterwards",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	// Last use position of every variable, to test "the shadowed
+	// variable is used after the shadowing scope ends".
+	lastUse := map[*types.Var]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok && id.End() > lastUse[v] {
+			lastUse[v] = id.End()
+		}
+	}
+	pkgScope := pass.Pkg.Scope()
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Name() == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pkgScope {
+			continue
+		}
+		for s := inner.Parent(); s != nil && s != pkgScope; s = s.Parent() {
+			prev, ok := s.Lookup(v.Name()).(*types.Var)
+			if !ok || prev == v || prev.IsField() {
+				continue
+			}
+			if prev.Pos() >= v.Pos() || !types.Identical(prev.Type(), v.Type()) {
+				break
+			}
+			if lastUse[prev] > inner.End() {
+				pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+					v.Name(), pass.Fset.Position(prev.Pos()).Line)
+			}
+			break // report against the innermost shadowed variable only
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,31 @@
+// Package ctxfix is the ctx-discipline fixture for library packages.
+package ctxfix
+
+import "context"
+
+func badOrder(name string, ctx context.Context) string { // want `context\.Context must be the first parameter`
+	_ = ctx
+	return name
+}
+
+func goodOrder(ctx context.Context, name string) string {
+	_ = ctx
+	return name
+}
+
+type holder struct {
+	ctx context.Context // want `struct holder stores a context\.Context`
+}
+
+// SearchJob is a sanctioned job type: job types own their lifecycle.
+type SearchJob struct {
+	ctx context.Context
+}
+
+func ambient() context.Context {
+	return context.Background() // want `context\.Background\(\) in library package`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library package`
+}

@@ -1,0 +1,63 @@
+// Package guarded is the guarded-fields fixture: sibling guards,
+// foreign (dotted) guards, the `// requires <mu>` escape and the
+// constructor exemption.
+package guarded
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// guarded by missing // want `guard "missing" is not a field of struct counterBox`
+	m int
+}
+
+func (b *counterBox) inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *counterBox) peek() int {
+	return b.n // want `counterBox\.n is guarded by mu`
+}
+
+// addLocked bumps the counter on behalf of a caller holding the lock.
+// requires mu
+func (b *counterBox) addLocked(delta int) {
+	b.n += delta
+}
+
+// requires // want `requires annotation names no mutex`
+func (b *counterBox) badRequires(delta int) {
+	b.n += delta // want `counterBox\.n is guarded by mu`
+}
+
+func newCounterBox() *counterBox {
+	b := &counterBox{}
+	b.n = 1 // constructor exemption: the value has not escaped yet
+	return b
+}
+
+type owner struct {
+	mu sync.Mutex
+	// guarded by mu
+	books []*book
+}
+
+type book struct {
+	// guarded by owner.mu
+	pages int
+}
+
+func (o *owner) flip(b *book) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	b.pages++
+	o.books = append(o.books, b)
+}
+
+func torn(b *book) {
+	b.pages++ // want `book\.pages is guarded by owner\.mu`
+}

@@ -1,0 +1,44 @@
+// Package ledgerfix is the ledger fixture: counter mutations must be
+// reachable from a Scope method.
+package ledgerfix
+
+// Scope mirrors the accounting root type.
+type Scope struct {
+	samplesPlanned     int
+	samplesSkipped     int
+	subproblemsSolved  int
+	subproblemsAborted int
+}
+
+func (s *Scope) notePlanned(n int) {
+	s.samplesPlanned += n
+}
+
+func (s *Scope) absorb(results []int) {
+	absorbResults(results, &s.subproblemsSolved, &s.subproblemsAborted)
+}
+
+// absorbResults has no counter references of its own (it mutates through
+// pointers its callers take), and it is reachable from Scope.absorb.
+func absorbResults(results []int, solved, aborted *int) {
+	for range results {
+		*solved++
+	}
+	_ = aborted
+}
+
+// skipViaHelper routes the skip accounting through a helper; the helper
+// is reachable from this Scope method, so both are fine.
+func (s *Scope) skipViaHelper(n int) {
+	bumpSkipped(s, n)
+}
+
+func bumpSkipped(s *Scope, n int) {
+	s.samplesSkipped += n
+}
+
+// sneaky bypasses the Scope ledger: nothing on the Scope accounting
+// surface reaches it.
+func sneaky(s *Scope) {
+	s.samplesPlanned++ // want `mutates ledger counter\(s\) samplesPlanned`
+}

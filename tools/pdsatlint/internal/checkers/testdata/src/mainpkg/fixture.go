@@ -1,0 +1,8 @@
+// Command mainpkg shows that package main may own root contexts.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

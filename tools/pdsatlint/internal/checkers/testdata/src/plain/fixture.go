@@ -1,0 +1,15 @@
+// Package plain is not a deterministic package: clocks and randomness
+// are fine here, but a justification-less escape directive is still
+// rejected wherever it appears.
+package plain
+
+import "time"
+
+func clockIsFine() time.Time {
+	return time.Now()
+}
+
+func staleDirective() int {
+	//pdsat:nondeterministic // want `needs a justification`
+	return 1
+}

@@ -1,0 +1,34 @@
+// Package shadowfix is the shadow fixture.
+package shadowfix
+
+import "errors"
+
+func shadowed(fail bool) error {
+	err := errors.New("outer")
+	if fail {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at line 7`
+		_ = err
+	}
+	return err
+}
+
+func disjoint(fail bool) error {
+	err := errors.New("outer")
+	if err != nil && fail {
+		return err
+	}
+	if fail {
+		err := errors.New("inner") // fine: the outer err is dead here
+		_ = err
+	}
+	return nil
+}
+
+func differentType(fail bool) int {
+	n := 1
+	if fail {
+		n := "shadow" // fine for this conservative check: distinct types
+		_ = n
+	}
+	return n
+}

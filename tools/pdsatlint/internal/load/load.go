@@ -1,0 +1,161 @@
+// Package load turns `go list -export` output into type-checked syntax
+// trees.  It is the loading half of the multichecker: golang.org/x/tools
+// (go/packages) is unavailable offline, so the same job is done with the
+// go command itself — `go list -export -deps -json` enumerates the target
+// packages plus the export-data files of every dependency (the go command
+// compiles them into the build cache on demand, no network needed), and
+// go/types checks the targets from source with an importer that reads
+// those export files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is the subset of `go list -json` a lint run needs.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Error      *PackageError
+}
+
+// PackageError is go list's per-package error report.
+type PackageError struct {
+	Err string
+}
+
+// Checked is one type-checked target package.
+type Checked struct {
+	Pkg   *Package
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader lists and type-checks packages.  One Loader shares a FileSet and
+// an export-data importer across all packages it checks.
+type Loader struct {
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// List runs `go list -export -deps -json` on the patterns in dir and
+// returns a Loader plus the non-standard-library target packages (the
+// ones matching the patterns, as opposed to dependencies).
+func List(dir string, patterns ...string) (*Loader, []*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,Name,GoFiles,Standard,DepOnly,Export,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	l := &Loader{Fset: token.NewFileSet(), exports: map[string]string{}}
+	var targets []*Package
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p Package
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, targets, nil
+}
+
+// StdImporter returns a Loader that can only type-check code whose
+// imports resolve within the listed packages and their dependencies
+// (typically standard-library packages).  The analysistest harness uses
+// it to check fixture files.
+func StdImporter(pkgs ...string) (*Loader, error) {
+	l, _, err := List("", pkgs...)
+	return l, err
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// ParseFiles parses the named files (resolved against dir) with comments.
+func (l *Loader) ParseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckFiles type-checks already-parsed files as one package with the
+// given import path.
+func (l *Loader) CheckFiles(importPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Check parses and type-checks one target package from List.
+func (l *Loader) Check(p *Package) (*Checked, error) {
+	files, err := l.ParseFiles(p.Dir, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := l.CheckFiles(p.ImportPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Checked{Pkg: p, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,105 @@
+// Command pdsatlint is the repository's static-analysis gate: a
+// go/analysis-style multichecker enforcing the invariants the paper
+// reproduction depends on (see the analyzers' docs and CONTRIBUTING.md).
+//
+// Usage, from the repository root (the go.work file makes the nested
+// module resolvable):
+//
+//	go run ./tools/pdsatlint ./...
+//
+// The tool lists the matching packages with `go list -export -deps`,
+// type-checks them from source (non-test files; _test.go files are
+// exempt from the invariants), runs every analyzer and prints findings
+// as file:line:col: analyzer: message.  Exit status 1 if anything was
+// reported.  It needs no network and no dependencies outside the
+// standard library: the go/analysis subset it uses is vendored as
+// internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/analysis"
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/checkers"
+	"github.com/paper-repro/pdsat-go/tools/pdsatlint/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pdsatlint [packages]\n\nAnalyzers:\n")
+		for _, a := range checkers.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, targets, err := load.List("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdsatlint: %v\n", err)
+		return 2
+	}
+
+	type finding struct {
+		analyzer string
+		diag     analysis.Diagnostic
+	}
+	var findings []finding
+	for _, target := range targets {
+		checked, err := loader.Check(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdsatlint: %v\n", err)
+			return 2
+		}
+		for _, a := range checkers.All {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      loader.Fset,
+				Files:     checked.Files,
+				Pkg:       checked.Types,
+				TypesInfo: checked.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, finding{analyzer: name, diag: d})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "pdsatlint: %s: %s: %v\n", target.ImportPath, a.Name, err)
+				return 2
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		pi := loader.Fset.Position(findings[i].diag.Pos)
+		pj := loader.Fset.Position(findings[j].diag.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", loader.Fset.Position(f.diag.Pos), f.analyzer, f.diag.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pdsatlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
