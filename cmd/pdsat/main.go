@@ -275,11 +275,7 @@ func runFleet(ctx context.Context, session *pdsat.Session, f fleetFlags, metric 
 	} else {
 		fmt.Println("no member produced a best set")
 	}
-	if stats := session.Stats(); stats.PrunedEvaluations > 0 || stats.Cache.Hits+stats.Cache.Misses > 0 {
-		fmt.Printf("evaluation engine   %d evaluations (%d pruned), %d subproblems solved, %d aborted, F-cache %d/%d hits\n",
-			stats.Evaluations, stats.PrunedEvaluations, stats.SubproblemsSolved, stats.SubproblemsAborted,
-			stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses)
-	}
+	printEngineSummary(session.Stats())
 	return nil
 }
 
@@ -435,11 +431,7 @@ func runSearch(ctx context.Context, session *pdsat.Session, method string, metri
 		}
 		printEstimate(label, outcome.Best, metric)
 	}
-	if stats := session.Stats(); stats.PrunedEvaluations > 0 || stats.Cache.Hits+stats.Cache.Misses > 0 {
-		fmt.Printf("evaluation engine   %d evaluations (%d pruned), %d subproblems solved, %d aborted, F-cache %d/%d hits\n",
-			stats.Evaluations, stats.PrunedEvaluations, stats.SubproblemsSolved, stats.SubproblemsAborted,
-			stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses)
-	}
+	printEngineSummary(session.Stats())
 	return nil
 }
 
@@ -468,6 +460,21 @@ func runSolve(ctx context.Context, session *pdsat.Session, vars []cnf.Var, stopO
 		fmt.Println("no satisfiable subproblem found")
 	}
 	return nil
+}
+
+// printEngineSummary reports the session's evaluation-engine and solver-core
+// counters after a search, when there is anything interesting to report.
+func printEngineSummary(stats pdsat.SessionStats) {
+	if stats.PrunedEvaluations > 0 || stats.Cache.Hits+stats.Cache.Misses > 0 {
+		fmt.Printf("evaluation engine   %d evaluations (%d pruned), %d subproblems solved, %d aborted, F-cache %d/%d hits\n",
+			stats.Evaluations, stats.PrunedEvaluations, stats.SubproblemsSolved, stats.SubproblemsAborted,
+			stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses)
+	}
+	if sv := stats.Solver; sv.Conflicts > 0 || sv.Propagations > 0 {
+		fmt.Printf("solver core         %d conflicts, %d learned (%d core / %d mid / %d local LBD), %d DB reductions, arena peak %.1f KiB\n",
+			sv.Conflicts, sv.Learned, sv.LearnedCore, sv.LearnedMid, sv.LearnedLocal,
+			sv.ReduceDBs, float64(sv.ArenaBytes)/1024)
+	}
 }
 
 func printEstimate(label string, est *pdsat.SetEstimate, metric solver.CostMetric) {

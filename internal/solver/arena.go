@@ -1,0 +1,161 @@
+package solver
+
+import "fmt"
+
+// The clause arena is the flat storage behind the CDCL solver: every clause
+// lives in one packed []ilit slice, addressed by its offset (a cref), with a
+// three-word header followed by the literals.  Compared with the seed's
+// individually heap-allocated clauses this removes a pointer dereference
+// (and a likely cache miss) from every watch-list visit, lets snapshots and
+// Reset restore the whole clause database with two flat copies, and makes
+// clause garbage collection an explicit arena operation instead of tracing
+// GC work.
+//
+// Layout of one clause at offset c:
+//
+//	word c+0: size<<2 | learned bit (0x1) | dead bit (0x2)
+//	word c+1: LBD (literal block distance, 0 for original clauses)
+//	word c+2: index of the clause's activity in Solver.clauseAct
+//	word c+3 ... c+3+size-1: the literals
+//
+// Clause activities are float64 and live out-of-line in Solver.clauseAct
+// (indexed by the header's activity word) so the arena stays a plain int32
+// slice and activity rescaling does not touch clause memory.
+//
+// The dead bit is only ever set by the tiered reducer (Options.ClauseTier):
+// it marks a removed clause's words as garbage until the next compaction.
+// The legacy reducer detaches clauses but leaves their words in place, just
+// as the pointer implementation left them to the GC; Reset truncates the
+// arena back to the original clauses, which is where that garbage is
+// reclaimed.
+
+// cref addresses a clause: the arena offset of its header word.  The
+// allocation order of clauses is exactly their cref order, which is what the
+// deterministic reduceDB tie-break sorts by.
+type cref int32
+
+// nullRef is the absent clause (a nil reason).
+const nullRef cref = -1
+
+const (
+	hdrWords   = 3
+	learnedBit = 1
+	deadBit    = 2
+	flagBits   = 2
+	// maxArenaWords bounds the arena so crefs (and the watch-list binary
+	// tag, which uses the sign bit) always fit in an int32.
+	maxArenaWords = 1<<31 - 1
+)
+
+// arena is the packed clause store.
+type arena struct {
+	data []ilit
+}
+
+// alloc appends a clause and returns its cref.
+func (a *arena) alloc(lits []ilit, learned bool, actIdx int32) cref {
+	if len(a.data)+hdrWords+len(lits) > maxArenaWords {
+		panic(fmt.Sprintf("solver: clause arena overflow (%d words)", len(a.data)))
+	}
+	cr := cref(len(a.data))
+	hdr := ilit(int32(len(lits)) << flagBits)
+	if learned {
+		hdr |= learnedBit
+	}
+	a.data = append(a.data, hdr, 0, ilit(actIdx))
+	a.data = append(a.data, lits...)
+	return cr
+}
+
+func (a *arena) size(c cref) int32      { return int32(a.data[c]) >> flagBits }
+func (a *arena) isLearned(c cref) bool  { return a.data[c]&learnedBit != 0 }
+func (a *arena) isDead(c cref) bool     { return a.data[c]&deadBit != 0 }
+func (a *arena) markDead(c cref)        { a.data[c] |= deadBit }
+func (a *arena) lbd(c cref) int32       { return int32(a.data[c+1]) }
+func (a *arena) setLBD(c cref, v int32) { a.data[c+1] = ilit(v) }
+func (a *arena) actIdx(c cref) int32    { return int32(a.data[c+2]) }
+
+// lits returns the literal words of the clause as a subslice of the arena
+// (no copy; the caller must not retain it across allocations).
+func (a *arena) lits(c cref) []ilit {
+	off := int32(c) + hdrWords
+	return a.data[off : off+a.size(c)]
+}
+
+// bytes reports the arena's current size in bytes (the ArenaBytes gauge).
+func (a *arena) bytes() uint64 { return uint64(len(a.data)) * 4 }
+
+// newClause allocates a clause in the arena with a fresh activity slot and
+// keeps the ArenaBytes gauge current.
+func (s *Solver) newClause(lits []ilit, learned bool) cref {
+	actIdx := int32(len(s.clauseAct))
+	s.clauseAct = append(s.clauseAct, 0)
+	cr := s.ar.alloc(lits, learned, actIdx)
+	s.stats.ArenaBytes = s.ar.bytes()
+	return cr
+}
+
+// bumpClause raises a clause's activity, replicating the pointer
+// implementation's rescale exactly: the 1e20 trigger tests the bumped clause
+// (which may be an original), but only the learned clauses and clauseInc are
+// scaled down — a just-learned clause is bumped before it joins s.learnts
+// and therefore escapes its own rescale, as it always has.
+func (s *Solver) bumpClause(c cref) {
+	ai := s.ar.actIdx(c)
+	s.clauseAct[ai] += s.clauseInc
+	if s.clauseAct[ai] > 1e20 {
+		for _, lc := range s.learnts {
+			s.clauseAct[s.ar.actIdx(lc)] *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// compactLearned slides the live learned clauses over the dead ones and
+// remaps every cref that may reference the moved region (learned list,
+// reasons, watch lists).  Original clauses sit below arenaBase and never
+// move.  Only the tiered reducer creates dead clauses, so this never runs —
+// and never perturbs crefs — in the bit-identical ClauseTier-off mode.
+func (s *Solver) compactLearned() {
+	base := int32(s.arenaBase)
+	data := s.ar.data
+	remap := make(map[cref]cref, len(s.learnts))
+	w := base
+	for r := base; r < int32(len(data)); {
+		sz := int32(data[r]) >> flagBits
+		next := r + hdrWords + sz
+		if data[r]&deadBit == 0 {
+			remap[cref(r)] = cref(w)
+			if w != r {
+				copy(data[w:w+hdrWords+sz], data[r:next])
+			}
+			w += hdrWords + sz
+		}
+		r = next
+	}
+	s.ar.data = data[:w]
+	s.garbageWords = 0
+	s.stats.ArenaBytes = s.ar.bytes()
+	for i, lc := range s.learnts {
+		s.learnts[i] = remap[lc]
+	}
+	// Originals added after the first solve live above arenaBase too.
+	for i, oc := range s.clauses {
+		if oc >= cref(base) {
+			s.clauses[i] = remap[oc]
+		}
+	}
+	for v, r := range s.reason {
+		if r != nullRef && r >= cref(base) {
+			s.reason[v] = remap[r]
+		}
+	}
+	for l := range s.watches {
+		ws := s.watches[l]
+		for i := range ws {
+			if c := ws[i].clause(); c >= cref(base) {
+				ws[i].ref = remap[c] | (ws[i].ref & binaryFlag)
+			}
+		}
+	}
+}

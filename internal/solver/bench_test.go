@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+	"github.com/paper-repro/pdsat-go/internal/encoder"
+)
+
+// Solver-core micro-benchmarks.  BenchmarkSolverBivium doubles as the
+// arena acceptance gate: it times the flat-arena solver against the
+// preserved pointer implementation (refsolver_test.go) on the same Bivium
+// session workload in the same process and fails outright if the arena is
+// not at least 20% faster, so the regression bar travels with the code
+// instead of a machine-specific recorded baseline.
+
+// chainFormula builds an implication ladder: binary clauses x_i → x_{i+1}
+// and ternary clauses (¬x_i ∨ ¬x_{i+1} ∨ x_{i+2}), so asserting x_1
+// propagates the whole chain through both the binary fast path and the
+// general watched-literal path.
+func chainFormula(n int) *cnf.Formula {
+	f := &cnf.Formula{NumVars: n}
+	for i := 1; i < n; i++ {
+		f.Clauses = append(f.Clauses, cnf.Clause{cnf.NewLit(cnf.Var(i), false), cnf.NewLit(cnf.Var(i+1), true)})
+	}
+	for i := 1; i+2 <= n; i++ {
+		f.Clauses = append(f.Clauses, cnf.Clause{
+			cnf.NewLit(cnf.Var(i), false), cnf.NewLit(cnf.Var(i+1), false), cnf.NewLit(cnf.Var(i+2), true),
+		})
+	}
+	return f
+}
+
+// biviumBatch builds the weakened Bivium instance of the estimator tests
+// (167 known start bits, 60 keystream bits) and 256 assumption vectors over
+// its 10 unknown start variables — the exact per-subproblem workload of the
+// Monte Carlo estimation: Reset, assume a cell of the decomposition, solve.
+func biviumBatch(tb testing.TB) (*cnf.Formula, [][]cnf.Lit) {
+	tb.Helper()
+	inst, err := encoder.NewInstance(encoder.Bivium(), encoder.Config{
+		KeystreamLen: 60, KnownSuffix: 167, Seed: 21,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vars := inst.UnknownStartVars()
+	rng := rand.New(rand.NewSource(7))
+	batch := make([][]cnf.Lit, 256)
+	for i := range batch {
+		a := make([]cnf.Lit, 0, len(vars))
+		for _, v := range vars {
+			a = append(a, cnf.NewLit(v, rng.Intn(2) == 0))
+		}
+		batch[i] = a
+	}
+	return inst.CNF, batch
+}
+
+// BenchmarkSolverPropagation measures one decide → propagate → backtrack
+// round over a 4000-variable implication chain.  The propagation path must
+// not allocate: the watch-list rewrites happen in place and the arena is
+// never grown outside clause learning (TestPropagateZeroAllocs enforces the
+// 0 allocs/op that the ns/op here implies).
+func BenchmarkSolverPropagation(b *testing.B) {
+	s := NewDefault(chainFormula(4000))
+	// Warm up: one full round leaves trail/watch capacity in steady state.
+	s.newDecisionLevel()
+	s.enqueue(mkLit(0, true), nullRef)
+	s.propagate()
+	s.cancelUntil(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.newDecisionLevel()
+		s.enqueue(mkLit(0, true), nullRef)
+		if confl := s.propagate(); confl != nullRef {
+			b.Fatal("chain formula cannot conflict")
+		}
+		s.cancelUntil(0)
+	}
+	b.ReportMetric(float64(s.stats.Propagations)/float64(b.N), "props/op")
+}
+
+// TestPropagateZeroAllocs pins the acceptance bar behind
+// BenchmarkSolverPropagation deterministically: steady-state propagation
+// performs zero heap allocations per round.
+func TestPropagateZeroAllocs(t *testing.T) {
+	s := NewDefault(chainFormula(4000))
+	round := func() {
+		s.newDecisionLevel()
+		s.enqueue(mkLit(0, true), nullRef)
+		s.propagate()
+		s.cancelUntil(0)
+	}
+	round() // reach steady-state capacities
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Fatalf("propagation allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// BenchmarkSolverBivium measures the Monte Carlo subproblem loop (Reset +
+// assume + solve, 256 subproblems per op) on the arena solver, and enforces
+// the arena acceptance bar: ≥20% faster than the pointer implementation on
+// the same batch.  Both solvers run in this process on identical work, so
+// the bar is machine-independent.
+func BenchmarkSolverBivium(b *testing.B) {
+	f, batch := biviumBatch(b)
+	s := NewDefault(f)
+	r := newRefSolver(f, DefaultOptions())
+	runArena := func() {
+		for _, a := range batch {
+			s.Reset()
+			s.SolveWithAssumptions(a)
+		}
+	}
+	runRef := func() {
+		for _, a := range batch {
+			r.Reset()
+			r.SolveWithAssumptions(a)
+		}
+	}
+	// Warm up both so allocation effects don't bias the first timing.
+	runArena()
+	runRef()
+	// Best-of-three per side: the bar compares steady-state throughput, not
+	// scheduling noise.
+	arenaNs, refNs := time.Duration(1<<62), time.Duration(1<<62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			runArena()
+			if d := time.Since(start); d < arenaNs {
+				arenaNs = d
+			}
+			start = time.Now()
+			runRef()
+			if d := time.Since(start); d < refNs {
+				refNs = d
+			}
+		}
+	}
+	b.StopTimer()
+	perSolveArena := float64(arenaNs.Nanoseconds()) / float64(len(batch))
+	perSolveRef := float64(refNs.Nanoseconds()) / float64(len(batch))
+	speedup := 100 * (1 - perSolveArena/perSolveRef)
+	b.ReportMetric(perSolveArena, "arena-ns/solve")
+	b.ReportMetric(perSolveRef, "pointer-ns/solve")
+	b.ReportMetric(speedup, "speedup-%")
+	if speedup < 20 {
+		b.Fatalf("arena solver only %.1f%% faster than the pointer baseline on the Bivium session batch (acceptance bar: 20%%): %.0f vs %.0f ns/solve",
+			speedup, perSolveArena, perSolveRef)
+	}
+}

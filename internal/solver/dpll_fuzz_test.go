@@ -1,0 +1,67 @@
+package solver
+
+import (
+	"testing"
+
+	"github.com/paper-repro/pdsat-go/internal/cnf"
+)
+
+// FuzzSolverVsDPLL differentially fuzzes the arena CDCL solver against the
+// reference DPLL solver on small random CNFs decoded from the fuzz input.
+// Both ClauseTier modes must agree with the oracle on satisfiability, and
+// every SAT model must actually satisfy the formula.
+//
+// Input encoding: numVars = 3 + data[0]%8 (3..10 variables); each following
+// byte contributes one literal (variable = b%numVars, sign = bit 7), with
+// the zero byte acting as a clause terminator.  Any byte slice decodes to a
+// well-formed formula, so the fuzzer's mutations always reach the solver.
+func FuzzSolverVsDPLL(f *testing.F) {
+	f.Add([]byte{2, 1, 130, 0, 2, 131, 0, 3, 1, 0})
+	f.Add([]byte{0, 1, 0, 129, 0})                       // unit clauses x1, ¬x1: UNSAT
+	f.Add([]byte{7, 1, 2, 3, 0, 131, 132, 133, 0, 4, 5}) // mixed widths
+	f.Add([]byte{5})                                     // empty formula
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		numVars := 3 + int(data[0])%8
+		formula := &cnf.Formula{NumVars: numVars}
+		var clause cnf.Clause
+		for _, b := range data[1:] {
+			if b == 0 {
+				if len(clause) > 0 {
+					formula.Clauses = append(formula.Clauses, clause)
+					clause = nil
+				}
+				continue
+			}
+			v := cnf.Var(int(b&0x7f)%numVars + 1)
+			clause = append(clause, cnf.NewLit(v, b&0x80 == 0))
+		}
+		if len(clause) > 0 {
+			formula.Clauses = append(formula.Clauses, clause)
+		}
+		if len(formula.Clauses) > 64 {
+			formula.Clauses = formula.Clauses[:64]
+		}
+
+		d := NewDPLL(formula)
+		d.MaxNodes = 1 << 20
+		want := d.Solve()
+		if want.Status == Unknown {
+			t.Skip("DPLL node budget exceeded")
+		}
+
+		for _, tier := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.ClauseTier = tier
+			got := New(formula, opts).Solve()
+			if got.Status != want.Status {
+				t.Fatalf("ClauseTier=%v: CDCL=%v, DPLL oracle=%v\nformula: %+v", tier, got.Status, want.Status, formula)
+			}
+			if got.Status == Sat && !Verify(formula, got.Model) {
+				t.Fatalf("ClauseTier=%v: CDCL model does not satisfy the formula %+v", tier, formula)
+			}
+		}
+	})
+}

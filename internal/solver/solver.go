@@ -16,6 +16,19 @@
 // VarActivity, which the tabu-search heuristic of the paper uses to pick new
 // neighbourhood centres.
 //
+// # Clause storage
+//
+// Clauses live in a flat arena (see arena.go): one packed []int32 slice
+// holding, per clause, a small header followed by the literals, addressed by
+// offset (cref).  Watch lists hold 8-byte {cref, blocker} entries with
+// binary clauses specialized in place (watch.go).  The layout is a pure
+// representation change: with Options.ClauseTier off, the search — every
+// decision, conflict, learned clause, restart and statistic — is bit-for-bit
+// identical to the original pointer-based implementation, which is pinned by
+// golden and differential tests.  ClauseTier switches the learned-clause
+// management to LBD-tiered reduction (reduce.go); it changes the search and
+// is gated by benchmarks, not bit-identity.
+//
 // # Sessions: reusing one solver for many subproblems
 //
 // A solver may be used as a long-lived session instead of being rebuilt for
@@ -43,13 +56,15 @@
 // The pristine snapshot is captured lazily at the first Solve/Reset call;
 // it costs one O(formula) copy and roughly doubles the memory held per
 // solver, which is negligible next to the construction cost it saves in
-// session use and acceptable for one-shot solves.
+// session use and acceptable for one-shot solves.  With the arena layout the
+// snapshot and its restoration are flat slice copies; restoring also
+// truncates the arena back to the original clauses, which reclaims all
+// learned-clause memory in one step.
 package solver
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -84,15 +99,28 @@ func (s Status) String() string {
 
 // Stats holds counters accumulated during solving.
 type Stats struct {
-	Decisions    uint64
-	Propagations uint64
-	Conflicts    uint64
-	Restarts     uint64
-	Learned      uint64
-	Removed      uint64
-	MaxLevel     int
+	Decisions    uint64 `json:"decisions"`
+	Propagations uint64 `json:"propagations"`
+	Conflicts    uint64 `json:"conflicts"`
+	Restarts     uint64 `json:"restarts"`
+	Learned      uint64 `json:"learned"`
+	Removed      uint64 `json:"removed"`
+	// ReduceDBs counts learned-clause database reductions (either policy).
+	ReduceDBs uint64 `json:"reduce_dbs"`
+	// LearnedCore, LearnedMid and LearnedLocal count learned clauses by the
+	// LBD tier assigned at learn time (core ≤ 3, mid ≤ 6, local above).
+	// The classification is purely observational and identical whether or
+	// not Options.ClauseTier is enabled.
+	LearnedCore  uint64 `json:"learned_core"`
+	LearnedMid   uint64 `json:"learned_mid"`
+	LearnedLocal uint64 `json:"learned_local"`
+	// ArenaBytes is a gauge, not a counter: the current size of the clause
+	// arena in bytes.  In a per-call Result it is the size at the end of
+	// the call; Add keeps the maximum, reporting the peak across sessions.
+	ArenaBytes uint64 `json:"arena_bytes"`
+	MaxLevel   int    `json:"max_level"`
 	// SolveTime is the wall-clock duration of the last Solve call.
-	SolveTime time.Duration
+	SolveTime time.Duration `json:"solve_time_ns"`
 }
 
 // Options configure the solver.  The zero value is usable; DefaultOptions
@@ -115,6 +143,14 @@ type Options struct {
 	// MinimizeLearned enables self-subsumption minimization of learned
 	// clauses.
 	MinimizeLearned bool
+	// ClauseTier switches learned-clause management to Glucose-style
+	// LBD-tiered reduction: core clauses (LBD ≤ 3) and binaries are never
+	// removed, reduction drops the worst half of the rest (highest LBD,
+	// then lowest activity), the database limit grows geometrically, and
+	// the arena compacts removed clauses.  Off (the default) keeps the
+	// activity-based policy, whose search is bit-for-bit identical to the
+	// seed implementation.
+	ClauseTier bool
 }
 
 // DefaultOptions returns the standard solver configuration.
@@ -233,18 +269,6 @@ func boolToLbool(b bool) lbool {
 	return lFalse
 }
 
-type clause struct {
-	lits     []ilit
-	learned  bool
-	activity float64
-	lbd      int
-}
-
-type watcher struct {
-	c       *clause
-	blocker ilit
-}
-
 type varOrder struct {
 	heap     []int32 // binary heap of variable indices
 	indices  []int32 // position of variable in heap, -1 if absent
@@ -257,12 +281,14 @@ type Solver struct {
 	opts Options
 
 	numVars   int32
-	clauses   []*clause // original clauses
-	learnts   []*clause // learned clauses
-	watches   [][]watcher
+	ar        arena     // packed clause storage (arena.go)
+	clauses   []cref    // original clauses
+	learnts   []cref    // learned clauses
+	clauseAct []float64 // clause activities, indexed by the arena's actIdx
+	watches   [][]watch
 	assigns   []lbool
 	polarity  []bool // saved phases
-	reason    []*clause
+	reason    []cref
 	level     []int32
 	trail     []ilit
 	trailLim  []int32
@@ -274,6 +300,24 @@ type Solver struct {
 	clauseInc float64
 
 	seen []bool
+
+	// arenaBase is the arena length right after construction: everything
+	// below it is original clauses (never moved or removed), everything at
+	// or above it is the learned region.
+	arenaBase int
+	// garbageWords counts dead words in the learned region (ClauseTier
+	// reductions only); compactLearned reclaims them.
+	garbageWords int
+	// learntLimit is the tiered reducer's geometric database limit (0 =
+	// not yet initialized).
+	learntLimit float64
+
+	// Reused scratch buffers (their contents never survive a call).
+	learntBuf []ilit  // analyze's learned-clause assembly
+	clearBuf  []int32 // analyze's seen-flag clear list
+	reduceBuf []cref  // reduceTiered's candidate list
+	lbdSeen   []uint64
+	lbdStamp  uint64
 
 	okay bool // false once a top-level conflict has been found
 
@@ -293,16 +337,17 @@ type Solver struct {
 // snapshot captures the complete search-relevant state of a solver right
 // after construction, so Reset can restore it with plain copies instead of
 // re-running New (allocation, clause normalization and root propagation).
-// Clause pointers stay valid for the lifetime of the solver, so watchers and
-// reasons are stored as-is.
+// With the flat arena every piece of clause state is a slice of plain
+// values, so capture and restore are memcpys.
 type snapshot struct {
 	numVars    int32
 	numClauses int
-	lits       []ilit    // flat concatenation of every clause's literals
-	watch      []watcher // flat concatenation of every watch list
-	watchLen   []int32   // watch-list length per literal
+	numActs    int
+	arena      []ilit  // the arena at capture time (original clauses only)
+	watch      []watch // flat concatenation of every watch list
+	watchLen   []int32 // watch-list length per literal
 	assigns    []lbool
-	reason     []*clause
+	reason     []cref
 	trail      []ilit
 	stats      Stats
 	okay       bool
@@ -325,30 +370,25 @@ func (s *Solver) capture() {
 	b := &snapshot{
 		numVars:    s.numVars,
 		numClauses: len(s.clauses),
+		numActs:    len(s.clauseAct),
+		arena:      append([]ilit(nil), s.ar.data...),
 		stats:      s.stats,
 		okay:       s.okay,
 	}
 	total := 0
-	for _, c := range s.clauses {
-		total += len(c.lits)
-	}
-	b.lits = make([]ilit, 0, total)
-	for _, c := range s.clauses {
-		b.lits = append(b.lits, c.lits...)
-	}
-	total = 0
 	for _, ws := range s.watches {
 		total += len(ws)
 	}
-	b.watch = make([]watcher, 0, total)
+	b.watch = make([]watch, 0, total)
 	b.watchLen = make([]int32, len(s.watches))
 	for i, ws := range s.watches {
 		b.watchLen[i] = int32(len(ws))
 		b.watch = append(b.watch, ws...)
 	}
 	b.assigns = append([]lbool(nil), s.assigns...)
-	b.reason = append([]*clause(nil), s.reason...)
+	b.reason = append([]cref(nil), s.reason...)
 	b.trail = append([]ilit(nil), s.trail...)
+	s.arenaBase = len(b.arena)
 	s.base = b
 }
 
@@ -360,6 +400,10 @@ func (s *Solver) capture() {
 // solver, but without reallocating the clause database or redoing the
 // root-level propagation (whose effort stays accounted in the restored
 // Stats).
+//
+// Restoring truncates the arena back to the original clauses — all
+// learned-clause memory is reclaimed in one step, which is the session
+// analogue of the tiered reducer's compaction.
 //
 // Clauses added with AddClause after the first Solve call are discarded by
 // Reset; add all clauses before solving when the solver is to be reused as a
@@ -391,28 +435,32 @@ func (s *Solver) Reset() {
 		s.seen = s.seen[:n]
 		s.numVars = n
 	}
-	// Restore clause literal order (search only permutes literals inside a
-	// clause, it never grows or shrinks original clauses).
+	// Restore the arena: truncating to the captured length drops every
+	// learned clause (and any post-solve original) in one step, and the
+	// copy restores the original literal order (search only permutes
+	// literals inside a clause, it never grows or shrinks original
+	// clauses).
+	s.ar.data = s.ar.data[:len(b.arena)]
+	copy(s.ar.data, b.arena)
+	s.arenaBase = len(b.arena)
+	s.garbageWords = 0
+	s.learntLimit = 0
 	s.clauses = s.clauses[:b.numClauses]
-	off := 0
-	for _, c := range s.clauses {
-		copy(c.lits, b.lits[off:off+len(c.lits)])
-		off += len(c.lits)
-		// Conflict analysis bumps the activity of original clauses too; a
-		// fresh solver starts them at zero, so restore that (the value only
-		// feeds the 1e20 rescale trigger, but a divergent rescale would
-		// break the fresh-replay guarantee on very long searches).
-		c.activity = 0
-	}
-	// Drop learned clauses; their watchers disappear with the wholesale
-	// watch-list restore below, so no detach walk is needed.
 	s.learnts = s.learnts[:0]
+	// A fresh solver starts every clause activity at zero, so restore that
+	// (the value only feeds the 1e20 rescale trigger, but a divergent
+	// rescale would break the fresh-replay guarantee on very long
+	// searches).
+	s.clauseAct = s.clauseAct[:b.numActs]
+	for i := range s.clauseAct {
+		s.clauseAct[i] = 0
+	}
 	// Restore watch lists.
 	woff := 0
 	for i := range s.watches {
 		n := int(b.watchLen[i])
 		if cap(s.watches[i]) < n {
-			s.watches[i] = make([]watcher, n)
+			s.watches[i] = make([]watch, n)
 		} else {
 			s.watches[i] = s.watches[i][:n]
 		}
@@ -520,7 +568,7 @@ func (s *Solver) ensureVars(n int32) {
 		s.watches = append(s.watches, nil, nil)
 		s.assigns = append(s.assigns, lUndef)
 		s.polarity = append(s.polarity, s.opts.DefaultPhase)
-		s.reason = append(s.reason, nil)
+		s.reason = append(s.reason, nullRef)
 		s.level = append(s.level, 0)
 		s.activity = append(s.activity, 0)
 		s.confAct = append(s.confAct, 0)
@@ -555,15 +603,15 @@ func (s *Solver) addClause(c cnf.Clause) bool {
 	case 0:
 		return false
 	case 1:
-		if !s.enqueue(lits[0], nil) {
+		if !s.enqueue(lits[0], nullRef) {
 			return false
 		}
 		conf := s.propagate()
-		return conf == nil
+		return conf == nullRef
 	default:
-		cl := &clause{lits: lits}
-		s.clauses = append(s.clauses, cl)
-		s.attach(cl)
+		cr := s.newClause(lits, false)
+		s.clauses = append(s.clauses, cr)
+		s.attach(cr)
 		return true
 	}
 }
@@ -592,28 +640,6 @@ func (s *Solver) AddClause(c cnf.Clause) bool {
 	return s.okay
 }
 
-func (s *Solver) attach(c *clause) {
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{c: c, blocker: l1})
-	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{c: c, blocker: l0})
-}
-
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].neg(), c)
-	s.removeWatch(c.lits[1].neg(), c)
-}
-
-func (s *Solver) removeWatch(l ilit, c *clause) {
-	ws := s.watches[l]
-	for i := range ws {
-		if ws[i].c == c {
-			ws[i] = ws[len(ws)-1]
-			s.watches[l] = ws[:len(ws)-1]
-			return
-		}
-	}
-}
-
 func (s *Solver) litValue(l ilit) lbool {
 	v := s.assigns[l.ivar()]
 	if v == lUndef {
@@ -630,7 +656,7 @@ func (s *Solver) litValue(l ilit) lbool {
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) enqueue(l ilit, from *clause) bool {
+func (s *Solver) enqueue(l ilit, from cref) bool {
 	switch s.litValue(l) {
 	case lTrue:
 		return true
@@ -649,78 +675,6 @@ func (s *Solver) enqueue(l ilit, from *clause) bool {
 	return true
 }
 
-// propagate performs unit propagation over the watched literals.  It returns
-// the conflicting clause, or nil.
-func (s *Solver) propagate() *clause {
-	var confl *clause
-	for s.qhead < len(s.trail) {
-		p := s.trail[s.qhead]
-		s.qhead++
-		s.stats.Propagations++
-		ws := s.watches[p]
-		i, j := 0, 0
-		for i < len(ws) {
-			w := ws[i]
-			// Blocker check: if the blocker literal is already true the
-			// clause is satisfied and nothing needs to move.
-			if s.litValue(w.blocker) == lTrue {
-				ws[j] = w
-				i++
-				j++
-				continue
-			}
-			c := w.c
-			// Make sure the false literal is lits[1].
-			falseLit := p.neg()
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
-			}
-			first := c.lits[0]
-			if first != w.blocker && s.litValue(first) == lTrue {
-				ws[j] = watcher{c: c, blocker: first}
-				i++
-				j++
-				continue
-			}
-			// Look for a new literal to watch.
-			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.litValue(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c: c, blocker: first})
-					found = true
-					break
-				}
-			}
-			if found {
-				i++
-				continue
-			}
-			// Clause is unit or conflicting.
-			ws[j] = watcher{c: c, blocker: first}
-			i++
-			j++
-			if s.litValue(first) == lFalse {
-				// Conflict: copy remaining watchers and stop.
-				confl = c
-				s.qhead = len(s.trail)
-				for i < len(ws) {
-					ws[j] = ws[i]
-					i++
-					j++
-				}
-			} else {
-				s.enqueue(first, c)
-			}
-		}
-		s.watches[p] = ws[:j]
-		if confl != nil {
-			return confl
-		}
-	}
-	return nil
-}
-
 func (s *Solver) cancelUntil(level int) {
 	if s.decisionLevel() <= level {
 		return
@@ -733,7 +687,7 @@ func (s *Solver) cancelUntil(level int) {
 			s.polarity[v] = !l.sign()
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = nullRef
 		s.order.insertIfAbsent(v, &s.activity)
 	}
 	s.trail = s.trail[:bound]
@@ -773,28 +727,20 @@ func (s *Solver) bumpVar(v int32) {
 func (s *Solver) decayVarActivity()    { s.varInc /= s.opts.VarDecay }
 func (s *Solver) decayClauseActivity() { s.clauseInc /= s.opts.ClauseDecay }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.clauseInc
-	if c.activity > 1e20 {
-		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
-		}
-		s.clauseInc *= 1e-20
-	}
-}
-
 // analyze performs first-UIP conflict analysis.  It returns the learned
-// clause (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]ilit, int) {
-	learnt := []ilit{0} // placeholder for the asserting literal
+// clause (with the asserting literal first) and the backtrack level.  The
+// returned slice is a reused scratch buffer, valid until the next analyze
+// call; recordLearned copies it into the arena.
+func (s *Solver) analyze(confl cref) ([]ilit, int) {
+	learnt := append(s.learntBuf[:0], 0) // placeholder for the asserting literal
+	toClear := s.clearBuf[:0]            // every variable whose seen flag we set
 	pathC := 0
 	var p ilit = -1
 	idx := len(s.trail) - 1
-	var toClear []int32 // every variable whose seen flag we set
 
 	for {
 		s.bumpClause(confl)
-		for _, q := range confl.lits {
+		for _, q := range s.ar.lits(confl) {
 			if q == p {
 				// When expanding the reason of p, skip p itself.
 				continue
@@ -850,6 +796,8 @@ func (s *Solver) analyze(confl *clause) ([]ilit, int) {
 	for _, v := range toClear {
 		s.seen[v] = false
 	}
+	s.learntBuf = learnt[:0]
+	s.clearBuf = toClear[:0]
 	return learnt, btLevel
 }
 
@@ -860,12 +808,12 @@ func (s *Solver) minimizeLearned(learnt []ilit) []ilit {
 	for i := 1; i < len(learnt); i++ {
 		l := learnt[i]
 		r := s.reason[l.ivar()]
-		if r == nil {
+		if r == nullRef {
 			out = append(out, l)
 			continue
 		}
 		redundant := true
-		for _, q := range r.lits {
+		for _, q := range s.ar.lits(r) {
 			if q == l.neg() || q == l {
 				continue
 			}
@@ -882,54 +830,47 @@ func (s *Solver) minimizeLearned(learnt []ilit) []ilit {
 	return out
 }
 
+// computeLBD counts the distinct decision levels among the literals (the
+// literal block distance of Glucose).  A stamp array replaces the seed's
+// per-call map; the count is identical, without the allocation.
 func (s *Solver) computeLBD(lits []ilit) int {
-	levels := make(map[int32]struct{}, len(lits))
-	for _, l := range lits {
-		levels[s.level[l.ivar()]] = struct{}{}
+	if len(s.lbdSeen) < int(s.numVars)+1 {
+		s.lbdSeen = make([]uint64, s.numVars+1)
+		s.lbdStamp = 0
 	}
-	return len(levels)
+	s.lbdStamp++
+	n := 0
+	for _, l := range lits {
+		lvl := s.level[l.ivar()]
+		if s.lbdSeen[lvl] != s.lbdStamp {
+			s.lbdSeen[lvl] = s.lbdStamp
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Solver) recordLearned(lits []ilit) {
 	if len(lits) == 1 {
-		s.enqueue(lits[0], nil)
+		s.enqueue(lits[0], nullRef)
 		return
 	}
-	c := &clause{lits: lits, learned: true, lbd: s.computeLBD(lits)}
-	s.bumpClause(c)
-	s.learnts = append(s.learnts, c)
+	lbd := s.computeLBD(lits)
+	cr := s.newClause(lits, true)
+	s.ar.setLBD(cr, int32(lbd))
+	s.bumpClause(cr)
+	s.learnts = append(s.learnts, cr)
 	s.stats.Learned++
-	s.attach(c)
-	s.enqueue(lits[0], c)
-}
-
-// reduceDB removes roughly half of the learned clauses with the lowest
-// activity (keeping binary clauses and clauses that are currently reasons).
-func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(i, j int) bool {
-		ci, cj := s.learnts[i], s.learnts[j]
-		if (len(ci.lits) == 2) != (len(cj.lits) == 2) {
-			return len(cj.lits) == 2 // binaries last (kept)
-		}
-		return ci.activity < cj.activity
-	})
-	limit := len(s.learnts) / 2
-	kept := s.learnts[:0]
-	for i, c := range s.learnts {
-		locked := s.isReason(c)
-		if i < limit && len(c.lits) > 2 && !locked {
-			s.detach(c)
-			s.stats.Removed++
-			continue
-		}
-		kept = append(kept, c)
+	switch {
+	case lbd <= coreLBD:
+		s.stats.LearnedCore++
+	case lbd <= midLBD:
+		s.stats.LearnedMid++
+	default:
+		s.stats.LearnedLocal++
 	}
-	s.learnts = kept
-}
-
-func (s *Solver) isReason(c *clause) bool {
-	v := c.lits[0].ivar()
-	return s.assigns[v] != lUndef && s.reason[v] == c
+	s.attach(cr)
+	s.enqueue(lits[0], cr)
 }
 
 // luby returns the Luby sequence value for index i (1-based) with unit base:
@@ -972,7 +913,7 @@ func (s *Solver) search(maxConflicts uint64, assumptions []ilit) (Status, bool) 
 	conflictsAtStart := s.stats.Conflicts
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != nullRef {
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.okay = false
@@ -995,10 +936,7 @@ func (s *Solver) search(maxConflicts uint64, assumptions []ilit) (Status, bool) 
 			continue
 		}
 		// No conflict.
-		if s.opts.MaxLearnedFactor > 0 &&
-			float64(len(s.learnts)) > s.opts.MaxLearnedFactor*float64(len(s.clauses)+100) {
-			s.reduceDB()
-		}
+		s.maybeReduce()
 		if s.outOfBudget() {
 			return Unknown, true
 		}
@@ -1014,7 +952,7 @@ func (s *Solver) search(maxConflicts uint64, assumptions []ilit) (Status, bool) 
 				return Unsat, false
 			default:
 				s.newDecisionLevel()
-				s.enqueue(a, nil)
+				s.enqueue(a, nullRef)
 				continue
 			}
 		}
@@ -1027,7 +965,7 @@ func (s *Solver) search(maxConflicts uint64, assumptions []ilit) (Status, bool) 
 		if dl := s.decisionLevel(); dl > s.stats.MaxLevel {
 			s.stats.MaxLevel = dl
 		}
-		s.enqueue(mkLit(v, s.polarity[v]), nil)
+		s.enqueue(mkLit(v, s.polarity[v]), nullRef)
 	}
 }
 
@@ -1092,9 +1030,9 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) (res Result) {
 	}
 }
 
-// Add returns the field-wise sum of two Stats values (MaxLevel is the
-// maximum, not the sum).  It lives next to diffStats so the field list stays
-// in one place when Stats grows.
+// Add returns the field-wise sum of two Stats values (MaxLevel and the
+// ArenaBytes gauge take the maximum, not the sum).  It lives next to
+// diffStats so the field list stays in one place when Stats grows.
 func (s Stats) Add(o Stats) Stats {
 	s.Decisions += o.Decisions
 	s.Propagations += o.Propagations
@@ -1102,6 +1040,13 @@ func (s Stats) Add(o Stats) Stats {
 	s.Restarts += o.Restarts
 	s.Learned += o.Learned
 	s.Removed += o.Removed
+	s.ReduceDBs += o.ReduceDBs
+	s.LearnedCore += o.LearnedCore
+	s.LearnedMid += o.LearnedMid
+	s.LearnedLocal += o.LearnedLocal
+	if o.ArenaBytes > s.ArenaBytes {
+		s.ArenaBytes = o.ArenaBytes
+	}
 	if o.MaxLevel > s.MaxLevel {
 		s.MaxLevel = o.MaxLevel
 	}
@@ -1117,6 +1062,11 @@ func diffStats(now, before Stats) Stats {
 		Restarts:     now.Restarts - before.Restarts,
 		Learned:      now.Learned - before.Learned,
 		Removed:      now.Removed - before.Removed,
+		ReduceDBs:    now.ReduceDBs - before.ReduceDBs,
+		LearnedCore:  now.LearnedCore - before.LearnedCore,
+		LearnedMid:   now.LearnedMid - before.LearnedMid,
+		LearnedLocal: now.LearnedLocal - before.LearnedLocal,
+		ArenaBytes:   now.ArenaBytes, // gauge: current, not a difference
 		MaxLevel:     now.MaxLevel,
 	}
 }

@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"testing"
+)
+
+// Tests for the LBD-tiered clause management behind Options.ClauseTier.
+// Unlike the ClauseTier-off mode, which is pinned bit-for-bit to the seed
+// search, the tiered policy changes the search; these tests check the things
+// that must hold regardless: answers stay correct, protected tiers survive
+// reduction, the database limit grows geometrically, compaction keeps the
+// clause database consistent mid-run, and Reset reclaims the arena.
+
+func tierOptions() Options {
+	o := DefaultOptions()
+	o.ClauseTier = true
+	// Reduce aggressively so small test formulas exercise reduction and
+	// compaction many times.
+	o.MaxLearnedFactor = 0.25
+	return o
+}
+
+func TestClauseTierAnswersMatchLegacy(t *testing.T) {
+	for fname, f := range diffFormulas(t) {
+		base := New(f, DefaultOptions()).Solve()
+		tier := New(f, tierOptions()).Solve()
+		if base.Status != tier.Status {
+			t.Fatalf("%s: status diverged: legacy=%v tiered=%v", fname, base.Status, tier.Status)
+		}
+		if tier.Status == Sat && !Verify(f, tier.Model) {
+			t.Fatalf("%s: tiered model does not satisfy the formula", fname)
+		}
+	}
+}
+
+func TestClauseTierReducesAndCompacts(t *testing.T) {
+	f := mustPigeonhole(t, 8, 7)
+	s := New(f, tierOptions())
+	res := s.Solve()
+	if res.Status != Unsat {
+		t.Fatalf("php(8,7) should be UNSAT, got %v", res.Status)
+	}
+	st := s.Stats()
+	if st.ReduceDBs == 0 {
+		t.Fatal("tiered reduction never fired")
+	}
+	if st.Removed == 0 {
+		t.Fatal("tiered reduction removed no clauses")
+	}
+	if st.LearnedCore+st.LearnedMid+st.LearnedLocal != st.Learned {
+		t.Fatalf("tier counters do not partition Learned: core=%d mid=%d local=%d learned=%d",
+			st.LearnedCore, st.LearnedMid, st.LearnedLocal, st.Learned)
+	}
+	if st.ArenaBytes == 0 {
+		t.Fatal("ArenaBytes gauge never set")
+	}
+	// The aggressive reduce factor plus php(8,7)'s thousands of conflicts
+	// guarantees the dead words crossed the compaction threshold at least
+	// once; a solver that never compacted would still pass the checks above,
+	// so assert it explicitly via the internal counter: after a compaction
+	// garbageWords restarts from zero and can only hold words from reductions
+	// since, which the threshold keeps below half the learned region.
+	learnedWords := len(s.ar.data) - s.arenaBase
+	if s.garbageWords*2 > learnedWords+2*int(hdrWords) {
+		t.Fatalf("compaction threshold violated at rest: garbage=%d learned region=%d", s.garbageWords, learnedWords)
+	}
+}
+
+func TestClauseTierProtectsCoreAndBinaries(t *testing.T) {
+	f := mustPigeonhole(t, 7, 6)
+	s := New(f, tierOptions())
+	if res := s.Solve(); res.Status != Unsat {
+		t.Fatalf("php(7,6) should be UNSAT, got %v", res.Status)
+	}
+	// Every surviving learned clause list entry must be alive and attached;
+	// every binary or core-tier clause learned must still be present (they
+	// are never removal candidates).
+	var core, binaries int
+	for _, c := range s.learnts {
+		if s.ar.isDead(c) {
+			t.Fatalf("dead clause %d left in learnts", c)
+		}
+		if s.ar.size(c) == 2 {
+			binaries++
+		}
+		if s.ar.lbd(c) <= coreLBD {
+			core++
+		}
+	}
+	removedProtected := false
+	if uint64(core) < s.stats.LearnedCore {
+		// Core clauses can only leave learnts via Reset, never reduction.
+		removedProtected = true
+	}
+	if removedProtected {
+		t.Fatalf("protected tier shrank: %d core clauses live, %d learned", core, s.stats.LearnedCore)
+	}
+	if binaries == 0 && core == 0 {
+		t.Skip("formula produced no protected clauses; nothing to check")
+	}
+}
+
+func TestClauseTierLimitGrowsGeometrically(t *testing.T) {
+	f := mustPigeonhole(t, 8, 7)
+	s := New(f, tierOptions())
+	s.Solve()
+	if s.stats.ReduceDBs < 2 {
+		t.Skipf("need ≥2 reductions to observe growth, got %d", s.stats.ReduceDBs)
+	}
+	initial := s.opts.MaxLearnedFactor * float64(len(s.clauses)+100)
+	want := initial
+	for i := uint64(0); i < s.stats.ReduceDBs; i++ {
+		want *= learntGrowth
+	}
+	if diff := s.learntLimit - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("learntLimit=%v, want %v (initial %v grown %d times)", s.learntLimit, want, initial, s.stats.ReduceDBs)
+	}
+}
+
+func TestClauseTierResetReclaimsArena(t *testing.T) {
+	f := mustPigeonhole(t, 7, 6)
+	s := New(f, tierOptions())
+	baseBytes := s.ar.bytes()
+	for call := 0; call < 3; call++ {
+		s.Reset()
+		if got := s.ar.bytes(); got != baseBytes {
+			t.Fatalf("call %d: arena not truncated by Reset: %d bytes, want %d", call, got, baseBytes)
+		}
+		if s.stats.ArenaBytes != baseBytes {
+			t.Fatalf("call %d: ArenaBytes gauge stale after Reset: %d, want %d", call, s.stats.ArenaBytes, baseBytes)
+		}
+		res := s.Solve()
+		if res.Status != Unsat {
+			t.Fatalf("call %d: got %v, want UNSAT", call, res.Status)
+		}
+		if s.ar.bytes() <= baseBytes {
+			t.Fatalf("call %d: no learned clauses in arena after solve", call)
+		}
+	}
+}
+
+func TestClauseTierSessionDeterministic(t *testing.T) {
+	// The tiered policy is not bit-identical to the seed, but it must still
+	// be deterministic: two identical solvers perform identical searches.
+	f := mustRandom3SAT(t, 3, 80, 4.26)
+	run := func() []Stats {
+		s := New(f, tierOptions())
+		var out []Stats
+		for call := 0; call < 4; call++ {
+			s.Reset()
+			res := s.Solve()
+			st := res.Stats
+			st.SolveTime = 0
+			out = append(out, st)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: tiered search not deterministic:\nrun1 %+v\nrun2 %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -208,6 +208,16 @@ func TestServerStatsAndPolicySubmission(t *testing.T) {
 			Misses uint64 `json:"misses"`
 			Size   int    `json:"size"`
 		} `json:"cache"`
+		Solver struct {
+			Conflicts    uint64 `json:"conflicts"`
+			Propagations uint64 `json:"propagations"`
+			Learned      uint64 `json:"learned"`
+			LearnedCore  uint64 `json:"learned_core"`
+			LearnedMid   uint64 `json:"learned_mid"`
+			LearnedLocal uint64 `json:"learned_local"`
+			ReduceDBs    uint64 `json:"reduce_dbs"`
+			ArenaBytes   uint64 `json:"arena_bytes"`
+		} `json:"solver"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -217,6 +227,18 @@ func TestServerStatsAndPolicySubmission(t *testing.T) {
 	}
 	if stats.SubproblemsSolved == 0 {
 		t.Fatal("no subproblem accounted")
+	}
+	// The aggregated solver-core counters ride along: any real solving
+	// propagates, keeps an arena, and partitions its learned clauses into
+	// the three LBD tiers.
+	if stats.Solver.Propagations == 0 {
+		t.Fatalf("no solver propagations surfaced in /v1/stats: %+v", stats.Solver)
+	}
+	if stats.Solver.ArenaBytes == 0 {
+		t.Fatalf("arena gauge missing from /v1/stats: %+v", stats.Solver)
+	}
+	if got := stats.Solver.LearnedCore + stats.Solver.LearnedMid + stats.Solver.LearnedLocal; got != stats.Solver.Learned {
+		t.Fatalf("tier counters do not partition learned clauses: %+v", stats.Solver)
 	}
 
 	// An invalid policy must be rejected at submission.

@@ -83,6 +83,10 @@ type CostMetric = solver.CostMetric
 // SolverOptions configure the per-subproblem CDCL solver.
 type SolverOptions = solver.Options
 
+// SolverStats are aggregated CDCL solver counters (conflicts, propagations,
+// learned-clause tiers, arena size); see Session.Stats and RunnerStats.
+type SolverStats = solver.Stats
+
 // Budget bounds the effort spent on a single subproblem.
 type Budget = solver.Budget
 

@@ -364,6 +364,10 @@ type SessionStats struct {
 	SamplesSkipped int `json:"samples_skipped"`
 	// Cache is the cross-search F-cache's hit/miss/size counters.
 	Cache eval.CacheStats `json:"cache"`
+	// Solver sums the per-subproblem CDCL statistics over every subproblem
+	// solved so far: conflicts, propagations, learned clauses by LBD tier,
+	// database reductions and the peak clause-arena size.
+	Solver SolverStats `json:"solver"`
 }
 
 // Stats returns a snapshot of the session's evaluation-engine counters.
@@ -376,6 +380,7 @@ func (s *Session) Stats() SessionStats {
 		SamplesPlanned:     s.runner.SamplesPlanned(),
 		SamplesSkipped:     s.runner.SamplesSkipped(),
 		Cache:              s.fcache.Stats(),
+		Solver:             s.runner.AggregateStats(),
 	}
 }
 
