@@ -539,6 +539,130 @@ func BenchmarkNeighborhoodBiviumTabu(b *testing.B) {
 	}
 }
 
+// BenchmarkStragglerBiviumEstimate measures the adaptive dispatch layer
+// (PR 10) on a Table-2-style weakened-Bivium estimate over a real 4-worker
+// loopback cluster in which one worker is a straggler (an injected half-
+// second stall before every task it starts).  The same fixed-seed estimate
+// runs once with fixed dispatch — the batch tail waits out the straggler's
+// queue — and once with work stealing, speculative re-dispatch and the
+// variance-aware batching they activate.  The determinism rule is enforced
+// unconditionally: both arms (and a pure in-process reference) must produce
+// the bit-identical F, since the policies may only move subproblems between
+// workers.  The acceptance bar of a ≥25% wall-clock reduction is enforced
+// whenever the host has the CPUs the workers need (on fewer cores the
+// healthy workers' solving serializes, so the bar is reported, not
+// enforced).
+func BenchmarkStragglerBiviumEstimate(b *testing.B) {
+	inst, err := encoder.NewInstance(encoder.Bivium(), encoder.Config{
+		KeystreamLen: 200,
+		KnownSuffix:  160,
+		Seed:         7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := decomp.NewSpace(inst.UnknownStartVars())
+	point := space.FullPoint()
+	const (
+		workers = 4
+		sample  = 24
+		stall   = 500 * time.Millisecond
+	)
+
+	leader, err := cluster.Listen("127.0.0.1:0", inst.CNF, cluster.LeaderOptions{
+		Heartbeat: 200 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leader.Close()
+	addr := leader.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The straggler registers first, so fixed dispatch hands it the head of
+	// every batch.
+	go func() {
+		_ = cluster.Serve(ctx, addr, cluster.WorkerOptions{
+			Capacity: 1, Name: "straggler",
+			TaskDelay: func(cluster.Task) time.Duration { return stall },
+		})
+	}()
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer waitCancel()
+	if err := leader.WaitForWorkers(waitCtx, 1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < workers; i++ {
+		go func() {
+			_ = cluster.Serve(ctx, addr, cluster.WorkerOptions{Capacity: 1})
+		}()
+	}
+	if err := leader.WaitForWorkers(waitCtx, workers); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(adaptive bool) (*pdsat.Runner, float64, time.Duration) {
+		r := pdsat.NewRunner(inst.CNF, pdsat.Config{
+			SampleSize: sample,
+			Seed:       3,
+			CostMetric: solver.CostPropagations,
+			Transport:  leader,
+			Steal:      adaptive,
+			Speculate:  adaptive,
+		})
+		start := time.Now()
+		res, err := r.EvaluatePoint(context.Background(), point)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r, res.Estimate.Value, time.Since(start)
+	}
+
+	// Pure in-process reference for the determinism gate.
+	ref := pdsat.NewRunner(inst.CNF, pdsat.Config{
+		SampleSize: sample,
+		Seed:       3,
+		CostMetric: solver.CostPropagations,
+		Workers:    2,
+	})
+	refRes, err := ref.EvaluatePoint(context.Background(), point)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run(true) // warm the worker-side solver pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, fFixed, wallFixed := run(false)
+		r, fAdaptive, wallAdaptive := run(true)
+		if fFixed != refRes.Estimate.Value || fAdaptive != refRes.Estimate.Value {
+			b.Fatalf("F drifted across dispatch modes: fixed %v, adaptive %v, in-process %v",
+				fFixed, fAdaptive, refRes.Estimate.Value)
+		}
+		if r.TasksStolen()+r.SpeculationWins() == 0 {
+			b.Fatalf("adaptive dispatch never engaged against the straggler (stolen=%d, wins=%d)",
+				r.TasksStolen(), r.SpeculationWins())
+		}
+		reduction := 100 * (1 - wallAdaptive.Seconds()/wallFixed.Seconds())
+		if runtime.NumCPU() >= workers {
+			if reduction < 25 {
+				b.Fatalf("adaptive dispatch cut the straggler wall clock by only %.1f%% on %d CPUs (acceptance bar: 25%%): %v vs %v",
+					reduction, runtime.NumCPU(), wallAdaptive, wallFixed)
+			}
+		} else {
+			b.Logf("only %d CPU(s): wall-clock bar not enforceable (measured %.1f%% reduction)",
+				runtime.NumCPU(), reduction)
+		}
+		b.ReportMetric(wallFixed.Seconds()*1e3, "wall_fixed_ms")
+		b.ReportMetric(wallAdaptive.Seconds()*1e3, "wall_adaptive_ms")
+		b.ReportMetric(reduction, "wall_reduction_%")
+		b.ReportMetric(float64(r.TasksStolen()), "tasks_stolen")
+		b.ReportMetric(float64(r.SpeculativeDuplicates()), "speculative_duplicates")
+		b.ReportMetric(float64(r.SpeculationWins()), "speculation_wins")
+		b.ReportMetric(fAdaptive, "F")
+	}
+}
+
 // --- substrate micro-benchmarks -----------------------------------------
 
 // BenchmarkSolverPigeonhole measures raw CDCL performance on the classic

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// TestRedialDelaySchedule pins the redial backoff shape: the base doubles
+// per consecutive failure, caps at maxRedial, and carries a deterministic
+// per-worker jitter of at most +50% — so a fleet of workers that lost the
+// same leader at the same instant fans out instead of thundering back in
+// lockstep, and a restarted worker reproduces its exact schedule.
+func TestRedialDelaySchedule(t *testing.T) {
+	const base = time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		want := base << attempt
+		if want > maxRedial || want <= 0 { // <<= overflow guard for the test's own math
+			want = maxRedial
+		}
+		d := redialDelay(base, attempt, "w1")
+		if d < want || d > want+want/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want, want+want/2)
+		}
+	}
+
+	// Deterministic: the same (base, attempt, name) always maps to the same
+	// delay, so restarts replay the exact schedule.
+	for attempt := 0; attempt < 6; attempt++ {
+		if a, b := redialDelay(base, attempt, "w1"), redialDelay(base, attempt, "w1"); a != b {
+			t.Fatalf("attempt %d: nondeterministic delay %v vs %v", attempt, a, b)
+		}
+	}
+
+	// Decorrelated: differently named workers do not share a schedule.
+	same := 0
+	for attempt := 0; attempt < 8; attempt++ {
+		if redialDelay(base, attempt, "w1") == redialDelay(base, attempt, "w2") {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("two differently named workers got an identical redial schedule")
+	}
+
+	// No redial configured means no delay.
+	if d := redialDelay(0, 3, "w1"); d != 0 {
+		t.Fatalf("zero base produced delay %v", d)
+	}
+}
+
+// TestServeBacksOffAgainstBrokenLeader points a worker at a listener that
+// accepts connections and immediately drops them — registration never
+// completes, so every dial is a consecutive failure and the worker must walk
+// the growing redialDelay schedule (the seed's bug was a fixed 1s retry that
+// never backed off).  The logged delays are compared against the exact
+// schedule, which also pins that the attempt counter is not reset by a
+// connection that merely *connected* without registering.
+func TestServeBacksOffAgainstBrokenLeader(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close() // never send a welcome
+		}
+	}()
+
+	const base = time.Millisecond
+	var mu sync.Mutex
+	var delays []string
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln.Addr().String(), WorkerOptions{
+			Capacity: 1,
+			Name:     "prober",
+			Redial:   base,
+			Logf: func(format string, args ...any) {
+				if !strings.Contains(format, "redialing in") {
+					return
+				}
+				mu.Lock()
+				delays = append(delays, args[len(args)-1].(time.Duration).String())
+				if len(delays) == 5 {
+					cancel()
+				}
+				mu.Unlock()
+			},
+		})
+	}()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve returned %v, want context.Canceled after 5 redials", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never reached 5 redial attempts")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) < 5 {
+		t.Fatalf("saw %d redial delays, want 5", len(delays))
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		want := redialDelay(base, attempt, "prober").String()
+		if delays[attempt] != want {
+			t.Fatalf("redial %d waited %s, want %s (full schedule %v)", attempt, delays[attempt], want, delays)
+		}
+	}
+}
+
+// TestServeBackoffResetsAfterRegistration checks the other half of the
+// backoff contract: a completed registration resets the attempt counter.  A
+// scripted leader welcomes every connection and then drops it abruptly (no
+// kindStop), so each cycle is register → lose → redial; because every
+// connection registered, every redial must use the attempt-0 delay instead
+// of the inflated tail the previous failures would otherwise have built up.
+func TestServeBackoffResetsAfterRegistration(t *testing.T) {
+	f := requeueFormula()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				w := newWire(conn)
+				defer w.close()
+				if _, err := w.recv(handshakeTimeout); err != nil { // hello
+					return
+				}
+				sopts := solver.DefaultOptions()
+				// A valid welcome completes the registration; closing the
+				// connection right after is the abrupt leader death.
+				_ = w.send(&envelope{Kind: kindWelcome, Formula: f, SolverOptions: &sopts, Heartbeat: time.Second})
+			}(conn)
+		}
+	}()
+
+	const base = time.Millisecond
+	var mu sync.Mutex
+	var delays []string
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln.Addr().String(), WorkerOptions{
+			Capacity: 1,
+			Name:     "returner",
+			Redial:   base,
+			Logf: func(format string, args ...any) {
+				if !strings.Contains(format, "redialing in") {
+					return
+				}
+				mu.Lock()
+				delays = append(delays, args[len(args)-1].(time.Duration).String())
+				if len(delays) == 4 {
+					cancel()
+				}
+				mu.Unlock()
+			},
+		})
+	}()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve returned %v, want context.Canceled after 4 register/lose cycles", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never reached 4 register/lose cycles")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) < 4 {
+		t.Fatalf("saw %d redial delays, want 4", len(delays))
+	}
+	want := redialDelay(base, 0, "returner").String()
+	for i, d := range delays {
+		if d != want {
+			t.Fatalf("redial %d after a successful registration waited %s, want the attempt-0 delay %s (schedule %v)",
+				i, d, want, delays)
+		}
+	}
+}

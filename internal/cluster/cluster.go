@@ -25,6 +25,19 @@
 // saw them yield placeholder results with Started == false; on context
 // cancellation the partial results collected so far are returned together
 // with the context's error.
+//
+// # Protocol compatibility
+//
+// The network transport speaks a versioned wire protocol (see proto.go for
+// the version history).  Version 3 adds the task-revoke exchange behind
+// work stealing and speculative straggler re-dispatch.  There is no
+// cross-version negotiation: a v2 worker dialing a v3 leader (or vice
+// versa) is rejected at registration with an explicit version-mismatch
+// error, because a worker that ignores revokes would wedge the leader's
+// steal bookkeeping and keep solving speculation losers whose results the
+// leader has already recorded.  Deployments must upgrade leaders and
+// workers together; the rejected worker fails fast (ErrRejected) instead
+// of redialing forever.
 package cluster
 
 import (
@@ -120,6 +133,28 @@ type BatchOptions struct {
 	Budget solver.Budget
 	// CostMetric selects the unit of TaskResult.Cost.
 	CostMetric solver.CostMetric
+	// Steal lets a dispatching transport revoke queued (not yet started)
+	// tasks from a backlogged worker and reassign them to an idle one.
+	// Only DispatchTransport backends honour it; stealing moves tasks
+	// between workers but never changes which subproblems are solved, so
+	// in pristine (non-Retain) batches the results are unaffected.
+	Steal bool
+	// Speculate lets a dispatching transport duplicate the last unfinished
+	// tasks of a batch onto idle slots: the first result per task index
+	// wins and the losing copy is discarded.  Task results are a pure
+	// function of the task in pristine batches, so which copy wins never
+	// changes the result content — only how soon it arrives.
+	Speculate bool
+	// QueueFactor is the dispatch layer's target depth per worker as a
+	// multiple of its capacity (in-flight plus locally queued tasks).
+	// 0 means the historical default of 2 — one executing chunk plus one
+	// queued chunk hiding the network round-trip; values below 1 are
+	// raised to 1 so a worker can always fill its solving slots.  The
+	// evaluation engine's cost model shrinks it when the observed ζ
+	// distribution is heavy-tailed (queued work behind a straggler is
+	// exactly what stealing has to undo) and grows it when costs
+	// concentrate.
+	QueueFactor float64
 }
 
 // Transport runs batches of tasks for one fixed formula.  Implementations
@@ -174,6 +209,36 @@ type AbortableTransport interface {
 	// abandons the remainder of the batch when abort fires.  A nil abort
 	// channel makes it identical to RunObserved.
 	RunAbortable(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, error)
+}
+
+// DispatchStats counts the adaptive-dispatch actions of one batch.  All
+// three are scheduling events: none of them changes the per-task results,
+// which stay exactly one per index with content independent of where (and
+// how often) a task ran.
+type DispatchStats struct {
+	// TasksStolen counts queued tasks revoked from a backlogged worker and
+	// reassigned to another one.
+	TasksStolen int
+	// SpeculativeDuplicates counts unfinished tasks duplicated onto idle
+	// slots near the end of a batch.
+	SpeculativeDuplicates int
+	// SpeculationWins counts speculated tasks whose duplicate copy
+	// delivered the first (and therefore recorded) result.
+	SpeculationWins int
+}
+
+// DispatchTransport is implemented by transports whose dispatch layer can
+// reassign or duplicate tasks between workers — work stealing and
+// speculative straggler re-dispatch, enabled per batch through
+// BatchOptions.Steal/Speculate — and report what it did.  The network
+// Leader implements it; the in-process backend does not (its workers pull
+// from one shared queue, so imbalance cannot build up).  Callers fall back
+// to RunAbortable when a transport does not implement it.
+type DispatchTransport interface {
+	AbortableTransport
+	// RunDispatch behaves exactly like RunAbortable but additionally
+	// returns the batch's dispatch statistics.
+	RunDispatch(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, DispatchStats, error)
 }
 
 // checkBatch validates the index contract shared by every backend.

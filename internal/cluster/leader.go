@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -36,6 +37,16 @@ type LeaderOptions struct {
 	// with the number of in-flight tasks that were requeued onto the
 	// remaining workers.  It must not block.
 	OnWorkerLost func(name string, requeued int)
+	// OnTaskStolen, when non-nil, is called when queued tasks are revoked
+	// from a backlogged worker for reassignment (BatchOptions.Steal), with
+	// the victim's name and the number of tasks taken back.  It runs on
+	// the victim's connection goroutine and must not block.
+	OnTaskStolen func(name string, tasks int)
+	// OnSpeculationWon, when non-nil, is called when the speculative
+	// duplicate of a straggling task delivers the first (recorded) result
+	// (BatchOptions.Speculate), with the winning worker's name.  It runs
+	// on that worker's connection goroutine and must not block.
+	OnSpeculationWon func(name string, tasks int)
 }
 
 // Leader is the network Transport: it accepts worker registrations on a TCP
@@ -74,9 +85,14 @@ type remoteWorker struct {
 	name     string
 	capacity int
 	w        *wire
-	// gone and inflight are guarded by Leader.mu.
+	// gone, inflight and revoking are guarded by Leader.mu.
 	gone     bool
 	inflight map[int]Task
+	// revoking marks an outstanding stealing revoke: the leader waits for
+	// this worker's kindRevoked acknowledgement (or its death) before
+	// planning another steal, so a task can never be in doubt between the
+	// worker's queue and the leader's pending list.
+	revoking bool
 	// done is closed when the worker is dropped; it stops the pinger.
 	done chan struct{}
 }
@@ -91,6 +107,13 @@ type netBatch struct {
 	remaining int
 	cancelled bool
 	wake      chan struct{} // capacity 1; non-blocking notifications
+	// spec maps a speculatively duplicated task index to the worker id the
+	// duplicate was sent to (nil until the first duplication).  An index
+	// present here is live on two workers at once; everywhere else a task
+	// has exactly one live assignment.
+	spec map[int]uint64
+	// stats counts this batch's adaptive-dispatch actions.
+	stats DispatchStats
 }
 
 // Listen starts a leader for the formula on the given TCP address
@@ -258,6 +281,8 @@ func (l *Leader) handleConn(conn net.Conn) {
 		switch env.Kind {
 		case kindResult:
 			l.deliver(rw, env)
+		case kindRevoked:
+			l.handleRevoked(rw, env)
 		case kindPong, kindHello:
 			// Liveness is implied by the successful read.
 		}
@@ -305,6 +330,17 @@ func (l *Leader) dropWorker(rw *remoteWorker, cause error) {
 			if b.got[idx] {
 				continue
 			}
+			if l.assigneeLocked(idx) != nil {
+				// A speculative copy of this task is still live on another
+				// worker; that copy answers for it, so requeuing here would
+				// duplicate the assignment.  If the dying worker held the
+				// duplicate, the index becomes speculatable again.
+				if b.spec[idx] == rw.id {
+					delete(b.spec, idx)
+				}
+				continue
+			}
+			delete(b.spec, idx)
 			if b.cancelled {
 				placeholderLocked(b, idx)
 			} else {
@@ -351,17 +387,124 @@ func (l *Leader) deliver(rw *remoteWorker, env *envelope) {
 	b.got[res.Index] = true
 	b.results = append(b.results, res)
 	b.remaining--
+	// Speculation resolution: the first result for a duplicated task wins
+	// — in pristine batches both copies would be bit-identical, so this
+	// decides timing, never content — and every other live copy is wiped
+	// from the books and discarded on its worker.
+	var losers []*remoteWorker
+	specWin := false
+	if dupID, dup := b.spec[res.Index]; dup {
+		specWin = dupID == rw.id
+		if specWin {
+			b.stats.SpeculationWins++
+		}
+		for _, ow := range workersByIDLocked(l.workers) {
+			if ow == rw {
+				continue
+			}
+			if _, live := ow.inflight[res.Index]; live {
+				delete(ow.inflight, res.Index)
+				losers = append(losers, ow)
+			}
+		}
+		delete(b.spec, res.Index)
+	}
 	broadcast := false
 	if stopTriggered(b.opts.Stop, res.Status) && !b.cancelled {
 		cancelLocked(b)
 		broadcast = true
 	}
 	id := b.id
+	winner := rw.name
 	wakeLocked(b)
 	l.mu.Unlock()
+	for _, ow := range losers {
+		// Best effort: a loser that misses the discard keeps solving a
+		// stale copy whose eventual result the got guard drops.
+		if err := ow.w.send(&envelope{Kind: kindRevoke, Batch: id, Discard: true, Indices: []int{res.Index}}); err != nil {
+			l.dropWorker(ow, err)
+		}
+	}
+	if specWin {
+		l.logf("cluster: speculative duplicate of task %d won on worker %q", res.Index, winner)
+		if l.opts.OnSpeculationWon != nil {
+			l.opts.OnSpeculationWon(winner, 1)
+		}
+	}
 	if broadcast {
 		l.broadcastInterrupt(id)
 	}
+}
+
+// handleRevoked processes a worker's stealing acknowledgement: only now do
+// the revoked tasks move back onto the batch's pending queue.  Between the
+// revoke and this acknowledgement a task stayed in the worker's inflight
+// set, so a worker dying mid-steal requeues it exactly once through
+// dropWorker — never zero times, never twice.
+func (l *Leader) handleRevoked(rw *remoteWorker, env *envelope) {
+	l.mu.Lock()
+	rw.revoking = false
+	b := l.batch
+	if b == nil || env.Batch != b.id {
+		l.mu.Unlock()
+		return
+	}
+	stolen := 0
+	for _, idx := range env.Indices {
+		if idx < 0 || idx >= len(b.got) {
+			continue
+		}
+		t, ok := rw.inflight[idx]
+		if !ok {
+			continue
+		}
+		delete(rw.inflight, idx)
+		if b.got[idx] {
+			continue
+		}
+		if l.assigneeLocked(idx) != nil {
+			// The worker gave back a speculative duplicate; the surviving
+			// copy stays the live assignment.
+			if b.spec[idx] == rw.id {
+				delete(b.spec, idx)
+			}
+			continue
+		}
+		delete(b.spec, idx)
+		if b.cancelled {
+			// The revoked copy left the worker's queue before the abort
+			// could drain it as a placeholder, so it is accounted here.
+			placeholderLocked(b, idx)
+			continue
+		}
+		b.pending = append(b.pending, t)
+		stolen++
+	}
+	if stolen > 0 {
+		b.stats.TasksStolen += stolen
+	}
+	wakeLocked(b)
+	victim := rw.name
+	l.mu.Unlock()
+	if stolen > 0 {
+		l.logf("cluster: stole %d queued task(s) back from worker %q", stolen, victim)
+		if l.opts.OnTaskStolen != nil {
+			l.opts.OnTaskStolen(victim, stolen)
+		}
+	}
+}
+
+// assigneeLocked returns the registered worker currently holding the task
+// index in its inflight set, nil if none (workers are scanned in id order,
+// so ties — impossible outside speculation — are deterministic).
+// requires mu
+func (l *Leader) assigneeLocked(idx int) *remoteWorker {
+	for _, rw := range workersByIDLocked(l.workers) {
+		if _, ok := rw.inflight[idx]; ok {
+			return rw
+		}
+	}
+	return nil
 }
 
 // cancelLocked marks the batch cancelled and converts its not-yet-assigned
@@ -433,22 +576,102 @@ func workersByIDLocked(workers map[uint64]*remoteWorker) []*remoteWorker {
 	return ws
 }
 
-// assign hands pending tasks to workers with spare slots.  Each worker is
-// kept at most two full capacities deep, so there is always a queued chunk
-// hiding the network round-trip while results stream back.
-func (l *Leader) assign(b *netBatch) {
-	type chunk struct {
-		rw    *remoteWorker
-		tasks []Task
+// sendChunk is one pending kindTasks transmission planned under Leader.mu
+// and sent outside it.
+type sendChunk struct {
+	rw    *remoteWorker
+	tasks []Task
+}
+
+// targetDepth is the dispatch depth for one worker — in-flight plus locally
+// queued tasks — as capacity times the batch's queue factor.  The default
+// factor of 2 keeps one queued chunk hiding the network round-trip while
+// results stream back; the evaluation engine's cost model shrinks the
+// factor on heavy-tailed ζ so less work queues up behind a potential
+// straggler.  A worker always gets at least its capacity, so its solving
+// slots can fill.
+func targetDepth(capacity int, factor float64) int {
+	if factor <= 0 {
+		return capacity * 2
 	}
-	var sends []chunk
+	d := int(math.Ceil(float64(capacity) * factor))
+	if d < capacity {
+		d = capacity
+	}
+	return d
+}
+
+// assign hands pending tasks to workers with spare dispatch depth (see
+// targetDepth).  When the pending queue is dry and tasks remain unfinished,
+// the batch's adaptive dispatch policies take over: stealing plans a revoke
+// of queued tasks from the most backlogged worker, and speculation
+// duplicates the batch's last unfinished tasks onto idle execution slots.
+func (l *Leader) assign(b *netBatch) {
+	var sends []sendChunk
+	var stealFrom *remoteWorker
+	stealCount := 0
 	l.mu.Lock()
-	if l.batch != b || b.cancelled || len(b.pending) == 0 {
+	if l.batch != b || b.cancelled {
 		l.mu.Unlock()
 		return
 	}
-	for _, rw := range workersByIDLocked(l.workers) {
-		spare := rw.capacity*2 - len(rw.inflight)
+	ws := workersByIDLocked(l.workers)
+	if b.opts.Steal || b.opts.Speculate {
+		// With adaptive dispatch on, fill free execution slots across the
+		// whole cluster before topping up anyone's queue: a task just stolen
+		// off a backlogged worker must land where it can run now, not bounce
+		// back into the victim's spare dispatch depth in id order — that
+		// bounce would steal the same task forever.  Steals are capped at
+		// the cluster's free slots, so this pass absorbs every stolen task.
+		sends = distributeLocked(b, ws, sends, func(rw *remoteWorker) int { return rw.capacity })
+	}
+	sends = distributeLocked(b, ws, sends, func(rw *remoteWorker) int {
+		return targetDepth(rw.capacity, b.opts.QueueFactor)
+	})
+	if len(b.pending) == 0 && b.remaining > 0 {
+		// While a steal acknowledgement is outstanding the revoked tasks'
+		// custody is in transit — plan neither another steal nor a
+		// speculation round until it lands (or the victim dies).
+		revoking := false
+		for _, rw := range ws {
+			if rw.revoking {
+				revoking = true
+				break
+			}
+		}
+		if !revoking {
+			if b.opts.Steal {
+				stealFrom, stealCount = planStealLocked(ws)
+			}
+			if b.opts.Speculate && stealFrom == nil {
+				sends = append(sends, l.planSpeculationLocked(b, ws)...)
+			}
+		}
+	}
+	id, opts := b.id, b.opts
+	l.mu.Unlock()
+	for _, c := range sends {
+		if err := c.rw.w.send(&envelope{Kind: kindTasks, Batch: id, Opts: &opts, Tasks: c.tasks}); err != nil {
+			// dropWorker requeues the chunk we just marked in-flight.
+			l.dropWorker(c.rw, err)
+		}
+	}
+	if stealFrom != nil {
+		if err := stealFrom.w.send(&envelope{Kind: kindRevoke, Batch: id, Count: stealCount}); err != nil {
+			l.dropWorker(stealFrom, err)
+		}
+	}
+}
+
+// distributeLocked hands pending tasks to workers in id order, filling each
+// worker up to limit(rw) outstanding tasks, and appends the planned
+// transmissions to sends (callers hold Leader.mu and send outside it).
+func distributeLocked(b *netBatch, ws []*remoteWorker, sends []sendChunk, limit func(*remoteWorker) int) []sendChunk {
+	for _, rw := range ws {
+		if len(b.pending) == 0 {
+			break
+		}
+		spare := limit(rw) - len(rw.inflight)
 		if spare <= 0 {
 			continue
 		}
@@ -460,19 +683,94 @@ func (l *Leader) assign(b *netBatch) {
 		for _, t := range ck {
 			rw.inflight[t.Index] = t
 		}
-		sends = append(sends, chunk{rw, ck})
-		if len(b.pending) == 0 {
+		sends = append(sends, sendChunk{rw, ck})
+	}
+	return sends
+}
+
+// planStealLocked picks the stealing victim: the most backlogged worker
+// (queued tasks beyond its execution slots; ties break to the oldest
+// registration, since ws is in id order) while at least one other worker
+// has a free execution slot.  It marks the victim as mid-revoke — at most
+// one steal is in flight per worker, and none is planned while any is
+// outstanding elsewhere, keeping every task's custody unambiguous.
+// Callers hold Leader.mu.
+func planStealLocked(ws []*remoteWorker) (*remoteWorker, int) {
+	idle := 0
+	for _, rw := range ws {
+		if free := rw.capacity - len(rw.inflight); free > 0 {
+			idle += free
+		}
+	}
+	if idle == 0 {
+		return nil, 0
+	}
+	var victim *remoteWorker
+	backlog := 0
+	for _, rw := range ws {
+		if bl := len(rw.inflight) - rw.capacity; bl > backlog {
+			backlog, victim = bl, rw
+		}
+	}
+	if victim == nil {
+		return nil, 0
+	}
+	count := backlog
+	if count > idle {
+		count = idle
+	}
+	victim.revoking = true
+	return victim, count
+}
+
+// planSpeculationLocked duplicates the batch's unfinished tail onto idle
+// execution slots: once fewer tasks remain than the cluster has slots, each
+// unfinished, not-yet-duplicated task is copied to one worker (in id order)
+// with a free slot that is not its current owner.  The first result per
+// index wins in deliver; duplicates never enter b.results twice, so the
+// caller's accounting sees exactly one result per task.  Callers hold
+// Leader.mu.
+func (l *Leader) planSpeculationLocked(b *netBatch, ws []*remoteWorker) []sendChunk {
+	capacity := 0
+	for _, rw := range ws {
+		capacity += rw.capacity
+	}
+	if b.remaining > capacity {
+		return nil
+	}
+	var sends []sendChunk
+	for idx := 0; idx < len(b.got); idx++ {
+		if b.got[idx] {
+			continue
+		}
+		if _, dup := b.spec[idx]; dup {
+			continue
+		}
+		owner := l.assigneeLocked(idx)
+		if owner == nil {
+			continue
+		}
+		var target *remoteWorker
+		for _, rw := range ws {
+			if rw == owner || rw.capacity-len(rw.inflight) <= 0 {
+				continue
+			}
+			target = rw
 			break
 		}
-	}
-	id, opts := b.id, b.opts
-	l.mu.Unlock()
-	for _, c := range sends {
-		if err := c.rw.w.send(&envelope{Kind: kindTasks, Batch: id, Opts: &opts, Tasks: c.tasks}); err != nil {
-			// dropWorker requeues the chunk we just marked in-flight.
-			l.dropWorker(c.rw, err)
+		if target == nil {
+			continue
 		}
+		if b.spec == nil {
+			b.spec = make(map[int]uint64)
+		}
+		b.spec[idx] = target.id
+		b.stats.SpeculativeDuplicates++
+		t := owner.inflight[idx]
+		target.inflight[idx] = t
+		sends = append(sends, sendChunk{target, []Task{t}})
 	}
+	return sends
 }
 
 // Run implements Transport: it streams the tasks to the registered workers
@@ -497,8 +795,17 @@ func (l *Leader) RunObserved(ctx context.Context, tasks []Task, opts BatchOption
 // context cancellation racing the abort takes precedence and is reported as
 // usual.
 func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, error) {
+	results, _, err := l.RunDispatch(ctx, tasks, opts, observe, abort)
+	return results, err
+}
+
+// RunDispatch implements DispatchTransport: RunAbortable plus the batch's
+// adaptive-dispatch statistics.  Stealing and speculation run only when the
+// batch options ask for them, so a RunDispatch call with a zero-policy
+// BatchOptions behaves — and schedules — exactly like RunAbortable.
+func (l *Leader) RunDispatch(ctx context.Context, tasks []Task, opts BatchOptions, observe func(TaskResult), abort <-chan struct{}) ([]TaskResult, DispatchStats, error) {
 	if err := checkBatch(tasks); err != nil {
-		return nil, err
+		return nil, DispatchStats{}, err
 	}
 	l.runMu.Lock()
 	defer l.runMu.Unlock()
@@ -506,7 +813,7 @@ func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptio
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return nil, ErrClosed
+		return nil, DispatchStats{}, ErrClosed
 	}
 	l.batchSeq++
 	b := &netBatch{
@@ -526,6 +833,9 @@ func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptio
 		l.batch = nil
 		for _, rw := range l.workers {
 			rw.inflight = make(map[int]Task)
+			// A steal acknowledgement still in flight refers to a dead
+			// batch; don't let it block the next batch's stealing.
+			rw.revoking = false
 		}
 		l.mu.Unlock()
 		// Idempotent batch teardown: workers drop any leftover batch state.
@@ -561,7 +871,7 @@ func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptio
 					observe(res)
 				}
 			}
-			return results, ErrClosed
+			return results, l.snapshotDispatchStats(b), ErrClosed
 		}
 		select {
 		case <-b.wake:
@@ -600,9 +910,9 @@ func (l *Leader) RunAbortable(ctx context.Context, tasks []Task, opts BatchOptio
 	}
 	results := l.snapshotResults(b)
 	if err := ctx.Err(); err != nil {
-		return results, err
+		return results, l.snapshotDispatchStats(b), err
 	}
-	return results, nil
+	return results, l.snapshotDispatchStats(b), nil
 }
 
 // snapshotResults copies the batch results under the lock (late stale
@@ -611,6 +921,13 @@ func (l *Leader) snapshotResults(b *netBatch) []TaskResult {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]TaskResult(nil), b.results...)
+}
+
+// snapshotDispatchStats copies the batch's dispatch counters under the lock.
+func (l *Leader) snapshotDispatchStats(b *netBatch) DispatchStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return b.stats
 }
 
 // reportNew streams the not-yet-reported tail of the batch results to

@@ -21,7 +21,13 @@ import (
 //	2  kindAbort (per-batch evaluation abort for incumbent pruning); a v1
 //	   worker would silently keep solving an aborted batch's tasks, so the
 //	   mismatch is rejected at registration
-const protocolVersion = 2
+//	3  kindRevoke / kindRevoked (work stealing and speculative straggler
+//	   re-dispatch).  A v2 worker would ignore a revoke it cannot decode —
+//	   leaving the leader's steal state wedged and a speculation loser
+//	   solving a task whose result the leader already recorded — so, as
+//	   with v1↔v2, the mismatch is rejected at registration: leaders and
+//	   workers must be upgraded together.
+const protocolVersion = 3
 
 // Wire timeouts shared by both sides.
 const (
@@ -65,6 +71,19 @@ const (
 	// lower bound exceeds the search incumbent.  The worker keeps its
 	// connection and pooled solvers; only the batch dies.
 	kindAbort
+	// kindRevoke (v3) takes tasks back from a worker.  In its stealing form
+	// (Count > 0) the worker removes up to Count not-yet-started tasks from
+	// the back of its local queue and acknowledges them with kindRevoked;
+	// only that acknowledgement moves a task back onto the leader's pending
+	// queue, so a task is never simultaneously queued on the leader and
+	// live on a worker.  In its discard form (Discard, explicit Indices)
+	// the worker silently drops the listed tasks — interrupting them
+	// mid-solve if they already started — without replying: the leader has
+	// already recorded another copy's result (speculation loser cleanup).
+	kindRevoke
+	// kindRevoked (v3) is the worker's steal acknowledgement: the indices
+	// it actually gave back (possibly none, if the queue drained first).
+	kindRevoked
 )
 
 // envelope is the single gob-encoded message type exchanged on a cluster
@@ -89,6 +108,16 @@ type envelope struct {
 
 	// kindResult
 	Result *wireResult
+
+	// kindRevoke / kindRevoked (v3)
+	//
+	// Count is the stealing form's upper bound on how many queued tasks to
+	// give back; Indices carries the discard form's targets and the
+	// acknowledgement's actual task indices; Discard selects the discard
+	// form (drop/interrupt, no acknowledgement, no requeue).
+	Count   int
+	Indices []int
+	Discard bool
 
 	// kindStop
 	Err string

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/paper-repro/pdsat-go/internal/solver"
+)
+
+// hoardingWorker registers with a large capacity, swallows every task it is
+// handed, answers pings, and reacts to the leader's steal revoke in one of
+// two ways: ack the revoke (giving back the requested tail of its queue) and
+// then die, or die without acking.  Both orders must leave every task solved
+// exactly once — the acked tasks requeue through handleRevoked, everything
+// still in the dead worker's custody requeues through dropWorker, and
+// nothing requeues through both.
+func hoardingWorker(t *testing.T, addr string, capacity, expect int, ackSteal bool, gotTasks chan<- int) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		t.Errorf("hoarding worker dial: %v", err)
+		close(gotTasks)
+		return
+	}
+	w := newWire(conn)
+	defer w.close()
+	if err := w.send(helloFor("hoarder", capacity)); err != nil {
+		t.Errorf("hoarding worker hello: %v", err)
+		close(gotTasks)
+		return
+	}
+	if _, err := w.recv(handshakeTimeout); err != nil { // welcome
+		t.Errorf("hoarding worker welcome: %v", err)
+		close(gotTasks)
+		return
+	}
+	var held []int
+	reported := false
+	for {
+		env, err := w.recv(10 * time.Second)
+		if err != nil {
+			t.Errorf("hoarding worker read: %v", err)
+			if !reported {
+				close(gotTasks)
+			}
+			return
+		}
+		switch env.Kind {
+		case kindPing:
+			if err := w.send(&envelope{Kind: kindPong}); err != nil {
+				t.Errorf("hoarding worker pong: %v", err)
+				if !reported {
+					close(gotTasks)
+				}
+				return
+			}
+		case kindTasks:
+			for _, task := range env.Tasks {
+				held = append(held, task.Index)
+			}
+			// The adaptive assignment fills execution slots and queue depth
+			// as separate chunks, so wait until the whole batch arrived.
+			if !reported && len(held) >= expect {
+				reported = true
+				gotTasks <- len(held)
+				close(gotTasks)
+			}
+		case kindRevoke:
+			if !ackSteal {
+				return // die mid-steal, before the acknowledgement
+			}
+			n := env.Count
+			if n > len(held) {
+				n = len(held)
+			}
+			idxs := append([]int(nil), held[len(held)-n:]...)
+			if err := w.send(&envelope{Kind: kindRevoked, Batch: env.Batch, Indices: idxs}); err != nil {
+				t.Errorf("hoarding worker revoke ack: %v", err)
+			}
+			return // die right after the acknowledgement
+		}
+	}
+}
+
+// runStealRequeueScenario drives the shared exactly-once custody scenario:
+// a hoarding worker takes the whole batch, a real worker joins and triggers
+// a steal, and the hoarder dies (before or after acking the revoke,
+// depending on ackSteal).  Every task must come back solved exactly once and
+// bit-identical to the in-process transport.
+func runStealRequeueScenario(t *testing.T, ackSteal bool) DispatchStats {
+	t.Helper()
+	f := requeueFormula()
+	leader, err := Listen("127.0.0.1:0", f, LeaderOptions{
+		Heartbeat: 100 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	addr := leader.Addr().String()
+
+	// The hoarder registers alone with capacity 8 (dispatch depth 16), so
+	// the initial assignment hands it the entire 16-task batch.
+	gotTasks := make(chan int, 1)
+	go hoardingWorker(t, addr, 8, 16, ackSteal, gotTasks)
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	if err := leader.WaitForWorkers(waitCtx, 1); err != nil {
+		t.Fatalf("hoarder did not register: %v", err)
+	}
+
+	tasks := requeueTasks(16)
+	opts := BatchOptions{CostMetric: solver.CostPropagations, Steal: true}
+	type runOutcome struct {
+		results []TaskResult
+		stats   DispatchStats
+		err     error
+	}
+	done := make(chan runOutcome, 1)
+	runCtx, runCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer runCancel()
+	go func() {
+		res, ds, err := leader.RunDispatch(runCtx, tasks, opts, nil, nil)
+		done <- runOutcome{res, ds, err}
+	}()
+
+	// Wait until the hoarder holds the whole batch, then bring up the real
+	// worker: the pending queue is dry, so the leader plans a steal against
+	// the hoarder, and the hoarder's scripted death follows.
+	if n, ok := <-gotTasks; ok && n != len(tasks) {
+		t.Fatalf("hoarder received %d tasks, want the whole batch of %d", n, len(tasks))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = Serve(ctx, addr, WorkerOptions{Capacity: 2, Name: "survivor", Logf: t.Logf})
+	}()
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("RunDispatch after steal/death: %v", out.err)
+	}
+	if len(out.results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(out.results), len(tasks))
+	}
+	seen := make([]bool, len(tasks))
+	for _, res := range out.results {
+		if seen[res.Index] {
+			t.Fatalf("duplicate result for task %d", res.Index)
+		}
+		seen[res.Index] = true
+		if !res.Started || res.Cancelled {
+			t.Fatalf("task %d was never solved (lost in the steal/death window)", res.Index)
+		}
+	}
+
+	// Custody churn must not change results: pristine per-task resets make
+	// the outcome worker-independent, so the run matches in-process exactly.
+	want, err := NewInproc(f, 2, solver.DefaultOptions()).Run(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByIdx := make([]TaskResult, len(tasks))
+	for _, res := range want {
+		wantByIdx[res.Index] = res
+	}
+	for _, res := range out.results {
+		w := wantByIdx[res.Index]
+		if res.Cost != w.Cost || res.Status != w.Status {
+			t.Fatalf("task %d differs after steal: net cost %v status %v, inproc cost %v status %v",
+				res.Index, res.Cost, res.Status, w.Cost, w.Status)
+		}
+	}
+	return out.stats
+}
+
+// TestStealAckThenWorkerDeathRequeuesExactlyOnce covers the acked-revoke
+// side of the custody invariant: the hoarder gives back the stolen tail and
+// dies immediately after, so the stolen tasks requeue through the
+// acknowledgement and the rest through worker loss — each exactly once.
+func TestStealAckThenWorkerDeathRequeuesExactlyOnce(t *testing.T) {
+	stats := runStealRequeueScenario(t, true)
+	if stats.TasksStolen == 0 {
+		t.Fatal("no task was stolen despite a backlogged hoarder and an idle worker")
+	}
+	if stats.SpeculativeDuplicates != 0 || stats.SpeculationWins != 0 {
+		t.Fatalf("speculation ran in a steal-only batch: %+v", stats)
+	}
+}
+
+// TestStealVictimDiesBeforeAckRequeuesExactlyOnce covers the other side:
+// the victim dies with the revoke un-acked, so custody of every task it
+// held — including the ones the leader asked back — transfers through
+// dropWorker alone.  Nothing is stolen (the ack never landed) and nothing
+// is solved twice.
+func TestStealVictimDiesBeforeAckRequeuesExactlyOnce(t *testing.T) {
+	stats := runStealRequeueScenario(t, false)
+	if stats.TasksStolen != 0 {
+		t.Fatalf("%d task(s) counted as stolen although the revoke was never acked", stats.TasksStolen)
+	}
+}
+
+// TestSpeculationOvertakesStraggler is the fault-injection test of the
+// adaptive dispatch pipeline on real workers: one worker's execution is
+// stalled by an injected per-task delay far longer than the test budget, so
+// the batch finishes only if the leader first steals the straggler's queued
+// task and then speculatively duplicates its running one onto the healthy
+// worker.  The duplicate's result must win, the straggler's copy must be
+// discarded, and the results must still be bit-identical to the in-process
+// transport.
+func TestSpeculationOvertakesStraggler(t *testing.T) {
+	f := requeueFormula()
+	leader, err := Listen("127.0.0.1:0", f, LeaderOptions{
+		Heartbeat: 100 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	addr := leader.Addr().String()
+
+	// The straggler registers first (lowest id, first in assignment order)
+	// and sleeps two minutes on every task it starts; the healthy worker
+	// does everything else.  The whole test runs under a 90-second deadline,
+	// so waiting out even one injected delay fails the test.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = Serve(ctx, addr, WorkerOptions{
+			Capacity: 1, Name: "straggler", Logf: t.Logf,
+			TaskDelay: func(Task) time.Duration { return 2 * time.Minute },
+		})
+	}()
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	if err := leader.WaitForWorkers(waitCtx, 1); err != nil {
+		t.Fatalf("straggler did not register: %v", err)
+	}
+	go func() {
+		_ = Serve(ctx, addr, WorkerOptions{Capacity: 2, Name: "healthy", Logf: t.Logf})
+	}()
+	if err := leader.WaitForWorkers(waitCtx, 2); err != nil {
+		t.Fatalf("healthy worker did not register: %v", err)
+	}
+
+	tasks := requeueTasks(8)
+	opts := BatchOptions{CostMetric: solver.CostPropagations, Steal: true, Speculate: true}
+	runCtx, runCancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer runCancel()
+	results, stats, err := leader.RunDispatch(runCtx, tasks, opts, nil, nil)
+	if err != nil {
+		t.Fatalf("RunDispatch with a straggler: %v", err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results for %d tasks", len(results), len(tasks))
+	}
+	seen := make([]bool, len(tasks))
+	for _, res := range results {
+		if seen[res.Index] {
+			t.Fatalf("duplicate result for task %d", res.Index)
+		}
+		seen[res.Index] = true
+		if !res.Started || res.Cancelled {
+			t.Fatalf("task %d was not solved (stalled behind the straggler)", res.Index)
+		}
+	}
+	if stats.SpeculativeDuplicates == 0 {
+		t.Fatal("no speculative duplicate was dispatched against the straggler")
+	}
+	if stats.SpeculationWins == 0 {
+		t.Fatal("no speculative duplicate won against the straggler")
+	}
+	if stats.SpeculationWins > stats.SpeculativeDuplicates {
+		t.Fatalf("more wins than duplicates: %+v", stats)
+	}
+
+	// First-result-wins must be invisible in the content: the winning copy
+	// solves the same subproblem from the same pristine state.
+	want, err := NewInproc(f, 2, solver.DefaultOptions()).Run(context.Background(), tasks, BatchOptions{CostMetric: solver.CostPropagations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByIdx := make([]TaskResult, len(tasks))
+	for _, res := range want {
+		wantByIdx[res.Index] = res
+	}
+	for _, res := range results {
+		w := wantByIdx[res.Index]
+		if res.Cost != w.Cost || res.Status != w.Status {
+			t.Fatalf("task %d differs under speculation: net cost %v status %v, inproc cost %v status %v",
+				res.Index, res.Cost, res.Status, w.Cost, w.Status)
+		}
+	}
+}

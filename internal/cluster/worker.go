@@ -28,10 +28,18 @@ type WorkerOptions struct {
 	Name string
 	// Redial, when positive, makes Serve reconnect after a lost connection
 	// instead of returning the error; the leader requeues whatever the
-	// worker had in flight either way.
+	// worker had in flight either way.  Redial is the *initial* delay of a
+	// capped exponential backoff (doubling per consecutive failure up to
+	// maxRedial, plus a deterministic per-worker jitter derived from Name);
+	// a successful registration resets the backoff to Redial.
 	Redial time.Duration
 	// Logf, when non-nil, receives human-readable worker events.
 	Logf func(format string, args ...any)
+	// TaskDelay, when non-nil, injects extra latency before each task's
+	// solve (fault injection for straggler tests and benchmarks).  The
+	// delay is interruptible: a batch abort or a speculation revoke cuts
+	// it short and the task reports a cancelled placeholder.
+	TaskDelay func(Task) time.Duration
 }
 
 func (o *WorkerOptions) fill() {
@@ -64,8 +72,13 @@ func (o *WorkerOptions) logf(format string, args ...any) {
 // exactly as it does for local goroutine workers.
 func Serve(ctx context.Context, addr string, opts WorkerOptions) error {
 	opts.fill()
+	// attempt counts consecutive failed connections since the last
+	// successful registration; it drives the redial backoff so a fleet of
+	// workers facing a restarted (or permanently gone) leader spreads out
+	// instead of thundering in lockstep at a fixed rate.
+	attempt := 0
 	for {
-		err := serveOnce(ctx, addr, &opts)
+		registered, err := serveOnce(ctx, addr, &opts)
 		if err == nil {
 			return nil
 		}
@@ -75,20 +88,63 @@ func Serve(ctx context.Context, addr string, opts WorkerOptions) error {
 		if opts.Redial <= 0 || errors.Is(err, ErrRejected) {
 			return err
 		}
-		opts.logf("cluster: connection to %s lost (%v); redialing in %v", addr, err, opts.Redial)
+		if registered {
+			attempt = 0
+		}
+		delay := redialDelay(opts.Redial, attempt, opts.Name)
+		attempt++
+		opts.logf("cluster: connection to %s lost (%v); redialing in %v", addr, err, delay)
 		select {
-		case <-time.After(opts.Redial):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
 }
 
+// maxRedial caps the exponential redial backoff: a worker probing a
+// permanently gone leader settles at roughly one dial per half minute
+// instead of spinning at the base rate forever.
+const maxRedial = 30 * time.Second
+
+// redialDelay returns the delay before redial attempt (0-based) after
+// `attempt` consecutive failures: the base doubles per failure up to
+// maxRedial, and a deterministic per-worker jitter of up to +50% — derived
+// from the worker name, not from a random source, so restarts reproduce the
+// exact same schedule — decorrelates workers that lost the same leader at
+// the same instant.
+func redialDelay(base time.Duration, attempt int, name string) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt && d < maxRedial; i++ {
+		d *= 2
+	}
+	if d > maxRedial {
+		d = maxRedial
+	}
+	// FNV-1a over the name and attempt number: stable across runs,
+	// different across workers and attempts.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt)
+	h *= 1099511628211
+	jitter := time.Duration(h % uint64(d/2+1))
+	return d + jitter
+}
+
 // serveOnce runs one connection's lifetime: dial, register, serve batches.
-func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
+// registered reports whether the registration handshake completed — the
+// redial backoff resets only then, so a leader that accepts connections but
+// never welcomes them still backs the worker off.
+func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) (registered bool, _ error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return err
+		return false, err
 	}
 	w := newWire(conn)
 	defer w.close()
@@ -105,18 +161,18 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 	}()
 
 	if serr := w.send(helloFor(opts.Name, opts.Capacity)); serr != nil {
-		return serr
+		return false, serr
 	}
 	env, err := w.recv(handshakeTimeout)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var exec *Inproc
 	hb := defaultHeartbeat
 	switch env.Kind {
 	case kindWelcome:
 		if env.Formula == nil || env.SolverOptions == nil {
-			return fmt.Errorf("cluster: leader welcome carried no formula")
+			return false, fmt.Errorf("cluster: leader welcome carried no formula")
 		}
 		exec = NewInproc(env.Formula, opts.Capacity, *env.SolverOptions)
 		if env.Heartbeat > 0 {
@@ -124,14 +180,15 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 		}
 	case kindStop:
 		if env.Err != "" {
-			return fmt.Errorf("%w: %s", ErrRejected, env.Err)
+			return false, fmt.Errorf("%w: %s", ErrRejected, env.Err)
 		}
-		return nil
+		return false, nil
 	default:
-		return fmt.Errorf("cluster: expected welcome, got message kind %d", env.Kind)
+		return false, fmt.Errorf("cluster: expected welcome, got message kind %d", env.Kind)
 	}
 	opts.logf("cluster: registered with leader %s (%d variables, %d clauses, %d slot(s))",
 		addr, env.Formula.NumVars, env.Formula.NumClauses(), opts.Capacity)
+	registered = true
 
 	var batch *workerBatch
 	// interrupted is the highest batch id the leader has told us to
@@ -151,14 +208,14 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 		env, err := w.recv(hb * readGraceFactor)
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return registered, ctx.Err()
 			}
-			return err
+			return registered, err
 		}
 		switch env.Kind {
 		case kindPing:
 			if err := w.send(&envelope{Kind: kindPong}); err != nil {
-				return err
+				return registered, err
 			}
 		case kindTasks:
 			if env.Opts == nil {
@@ -168,16 +225,39 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 				for _, t := range env.Tasks {
 					res := TaskResult{Index: t.Index, Status: solver.Unknown}
 					if err := w.send(&envelope{Kind: kindResult, Batch: env.Batch, Result: toWire(&res)}); err != nil {
-						return err
+						return registered, err
 					}
 				}
 				continue
 			}
 			if batch == nil || batch.id != env.Batch {
 				batch.stop()
-				batch = newWorkerBatch(ctx, env.Batch, *env.Opts, exec, w)
+				batch = newWorkerBatch(ctx, env.Batch, *env.Opts, exec, w, opts.TaskDelay)
 			}
 			batch.q.push(env.Tasks)
+		case kindRevoke:
+			// Stealing form: give back up to Count queued (never started)
+			// tasks from the back of the local queue and acknowledge them —
+			// the leader requeues a task only on that acknowledgement.
+			// Discard form: the leader already recorded another copy's
+			// result; drop queued copies, interrupt started ones, reply
+			// nothing.
+			if env.Discard {
+				if batch != nil && batch.id == env.Batch {
+					batch.discard(env.Indices)
+				}
+				continue
+			}
+			var idxs []int
+			if batch != nil && batch.id == env.Batch {
+				idxs = batch.stealQueued(env.Count)
+			}
+			// Always acknowledge — an empty ack unblocks the leader's
+			// per-worker steal bookkeeping even when the queue drained (or
+			// the batch died) before the revoke arrived.
+			if err := w.send(&envelope{Kind: kindRevoked, Batch: env.Batch, Indices: idxs}); err != nil {
+				return registered, err
+			}
 		case kindInterrupt, kindAbort:
 			// kindAbort is the evaluation engine's planned per-batch abort
 			// (incumbent pruning); on the worker it is handled exactly like
@@ -192,10 +272,10 @@ func serveOnce(ctx context.Context, addr string, opts *WorkerOptions) error {
 			}
 		case kindStop:
 			if env.Err != "" {
-				return fmt.Errorf("cluster: leader stopped worker: %s", env.Err)
+				return registered, fmt.Errorf("cluster: leader stopped worker: %s", env.Err)
 			}
 			opts.logf("cluster: leader %s shut this worker down", addr)
-			return nil
+			return registered, nil
 		}
 	}
 }
@@ -208,11 +288,19 @@ type workerBatch struct {
 	cancel context.CancelFunc
 	q      *taskQueue
 	wg     sync.WaitGroup
+
+	// mu guards running, the per-task cancel functions of the solves
+	// currently executing on this batch's slots; a discard revoke for a
+	// started task (speculation loser) interrupts exactly that solve,
+	// leaving its siblings and the batch itself untouched.
+	mu      sync.Mutex
+	running map[int]context.CancelFunc // guarded by mu
 }
 
-func newWorkerBatch(parent context.Context, id uint64, opts BatchOptions, exec *Inproc, w *wire) *workerBatch {
+func newWorkerBatch(parent context.Context, id uint64, opts BatchOptions, exec *Inproc, w *wire, delay func(Task) time.Duration) *workerBatch {
 	ctx, cancel := context.WithCancel(parent)
-	b := &workerBatch{id: id, opts: opts, cancel: cancel, q: newTaskQueue()}
+	b := &workerBatch{id: id, opts: opts, cancel: cancel, q: newTaskQueue(),
+		running: make(map[int]context.CancelFunc)}
 	for i := 0; i < exec.Workers(); i++ {
 		b.wg.Add(1)
 		go func() {
@@ -231,7 +319,7 @@ func newWorkerBatch(parent context.Context, id uint64, opts BatchOptions, exec *
 					// draining its queue.
 					res = TaskResult{Index: t.Index, Status: solver.Unknown}
 				} else {
-					res = sw.solveTask(ctx, t, opts)
+					res = b.solveOne(ctx, sw, t, delay)
 				}
 				if err := w.send(&envelope{Kind: kindResult, Batch: id, Result: toWire(&res)}); err != nil {
 					// Connection gone; the read loop notices too.  Stop
@@ -243,6 +331,65 @@ func newWorkerBatch(parent context.Context, id uint64, opts BatchOptions, exec *
 		}()
 	}
 	return b
+}
+
+// solveOne runs one task under a per-task cancellable context (registered
+// in b.running so a discard revoke can interrupt it) with the optional
+// injected latency applied first.
+func (b *workerBatch) solveOne(ctx context.Context, sw *solveWorker, t Task, delay func(Task) time.Duration) TaskResult {
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	b.mu.Lock()
+	b.running[t.Index] = tcancel
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.running, t.Index)
+		b.mu.Unlock()
+	}()
+	if delay != nil {
+		if d := delay(t); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-tctx.Done():
+				timer.Stop()
+				return TaskResult{Index: t.Index, Status: solver.Unknown}
+			}
+		}
+	}
+	return sw.solveTask(tctx, t, b.opts)
+}
+
+// stealQueued removes up to n not-yet-started tasks from the back of the
+// batch's local queue and returns their indices (the stealing revoke's
+// acknowledgement payload).  Taking from the back preserves the FIFO head
+// this worker is about to start on.
+func (b *workerBatch) stealQueued(n int) []int {
+	tasks := b.q.removeTail(n)
+	idxs := make([]int, len(tasks))
+	for i, t := range tasks {
+		idxs[i] = t.Index
+	}
+	return idxs
+}
+
+// discard drops the listed tasks without reporting results: queued copies
+// are removed from the local queue, started ones have their solve
+// interrupted (the truncated result the slot then sends is stale on the
+// leader, which already recorded the winning copy).
+func (b *workerBatch) discard(idxs []int) {
+	for _, idx := range idxs {
+		if b.q.remove(idx) {
+			continue
+		}
+		b.mu.Lock()
+		cancel := b.running[idx]
+		b.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
 }
 
 // stop interrupts the batch's in-flight solves, drains its queue as
@@ -302,4 +449,39 @@ func (q *taskQueue) pop() (t Task, ok, cancelled bool) {
 	t = q.items[0]
 	q.items = q.items[1:]
 	return t, true, q.cancelled
+}
+
+// removeTail removes and returns up to n tasks from the back of the queue
+// (nothing once the queue is cancelled: its tasks are already owed to the
+// leader as placeholders and must not be requeued elsewhere too).
+func (q *taskQueue) removeTail(n int) []Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cancelled || n <= 0 {
+		return nil
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	cut := len(q.items) - n
+	removed := append([]Task(nil), q.items[cut:]...)
+	q.items = q.items[:cut]
+	return removed
+}
+
+// remove deletes the queued task with the given index, reporting whether it
+// was still queued (same cancellation guard as removeTail).
+func (q *taskQueue) remove(idx int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cancelled {
+		return false
+	}
+	for i, t := range q.items {
+		if t.Index == idx {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
 }

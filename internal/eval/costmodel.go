@@ -1,0 +1,251 @@
+package eval
+
+import (
+	"math"
+	"sync"
+)
+
+// CostModel is the per-session online model of the observed subproblem
+// costs ζ, kept separately per sample stage (the geometric prefixes of
+// StagePlan solve systematically different mixes of points, so their cost
+// distributions differ).  Each stage tracks the running mean and streaming
+// quantile estimates of the median and the 90th percentile via the P²
+// algorithm — O(1) memory, no stored samples, no randomness.
+//
+// The model exists to size cluster dispatch: the heavier the ζ tail, the
+// shallower each worker's queue should be (work queued behind a straggler
+// is exactly what stealing has to undo), and the more the distribution
+// concentrates, the deeper batches can be shipped to amortize latency —
+// the eq. 3 variance machinery of the paper turned into a dispatch hint.
+//
+// Observations arrive in completion order, which varies run to run; the
+// model therefore influences only *scheduling* (queue depths), never which
+// samples are drawn or what a subproblem costs, so fixed-seed estimates
+// stay bit-identical no matter what the model has seen.
+type CostModel struct {
+	mu     sync.Mutex
+	stages []*costSketch // guarded by mu
+}
+
+// costSketch summarizes one stage's observed costs.
+type costSketch struct {
+	count int
+	sum   float64
+	p50   p2Quantile
+	p90   p2Quantile
+}
+
+// NewCostModel creates an empty cost model.
+func NewCostModel() *CostModel { return &CostModel{} }
+
+// Observe feeds one completed subproblem's cost for the given stage index
+// (negative stages and non-finite or negative costs are ignored).
+func (m *CostModel) Observe(stage int, cost float64) {
+	if stage < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.stages) <= stage {
+		m.stages = append(m.stages, newCostSketch())
+	}
+	s := m.stages[stage]
+	s.count++
+	s.sum += cost
+	s.p50.observe(cost)
+	s.p90.observe(cost)
+}
+
+// Observations returns how many costs the stage has absorbed.
+func (m *CostModel) Observations(stage int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stage < 0 || stage >= len(m.stages) {
+		return 0
+	}
+	return m.stages[stage].count
+}
+
+// Quantiles returns the stage's current mean and streaming estimates of the
+// median and the 90th percentile (zeros before any observation).
+func (m *CostModel) Quantiles(stage int) (mean, p50, p90 float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stage < 0 || stage >= len(m.stages) {
+		return 0, 0, 0
+	}
+	s := m.stages[stage]
+	if s.count == 0 {
+		return 0, 0, 0
+	}
+	return s.sum / float64(s.count), s.p50.value(), s.p90.value()
+}
+
+// costModelMinObservations is the sample floor below which QueueFactor
+// offers no hint: quantile estimates over a handful of costs are noise.
+const costModelMinObservations = 16
+
+// queueFactorBalancedRatio is the dispersion ratio p90/p50 at which the
+// default queue depth (factor 2) is kept: an exponential distribution —
+// the memoryless reference case for solver effort — has
+// p90/p50 = ln 10 / ln 2 ≈ 3.32.  The ratio of two quantiles, not a
+// quantile over the mean: a heavy tail inflates the mean faster than any
+// fixed quantile, so p90/mean perversely *shrinks* as tails grow, while
+// p90/p50 stays monotone in tail weight.
+const queueFactorBalancedRatio = 3.321928094887362
+
+// QueueFactor returns the dispatch queue-depth hint for the stage, as a
+// multiple of each worker's capacity in [1, 3]: 0 when the stage has too
+// few observations to judge, 2 at the balanced dispersion ratio,
+// approaching 1 as the observed ζ distribution grows heavier-tailed and 3
+// as it concentrates.  The mapping is 2·sqrt(r₀/r) clamped to [1, 3], with
+// r = p90/p50 and r₀ the balanced ratio — smooth, monotone in the tail
+// weight, and free of tuning cliffs.
+func (m *CostModel) QueueFactor(stage int) float64 {
+	_, p50, p90 := m.Quantiles(stage)
+	if m.Observations(stage) < costModelMinObservations {
+		return 0
+	}
+	if p90 <= 0 {
+		// At least 90% of subproblems cost nothing.  If everything did,
+		// there is no tail to fear and deep batches amortize latency; a
+		// positive mean over a zero p90 instead means the top decile
+		// carries all the cost — the heaviest possible tail.
+		if mean, _, _ := m.Quantiles(stage); mean > 0 {
+			return 1
+		}
+		return 3
+	}
+	if p50 <= 0 {
+		// The free majority hides a costly minority: heavy dispersion.
+		return 1
+	}
+	r := p90 / p50
+	f := 2 * math.Sqrt(queueFactorBalancedRatio/r)
+	return math.Min(3, math.Max(1, f))
+}
+
+func newCostSketch() *costSketch {
+	s := &costSketch{}
+	s.p50.init(0.5)
+	s.p90.init(0.9)
+	return s
+}
+
+// p2Quantile is the P² streaming quantile estimator of Jain & Chlamtac
+// (CACM 1985): five markers track the running minimum, maximum, the target
+// quantile and its two flanking mid-quantiles, adjusting marker heights by
+// a piecewise-parabolic prediction as observations stream in.  Exact for
+// the first five observations, O(1) per observation afterwards.
+type p2Quantile struct {
+	p    float64    // target quantile
+	n    int        // observations so far
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+func (e *p2Quantile) init(p float64) {
+	e.p = p
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// observe absorbs one value.
+func (e *p2Quantile) observe(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			// Initial markers are the first five observations in order.
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && e.q[j-1] > e.q[j]; j-- {
+					e.q[j-1], e.q[j] = e.q[j], e.q[j-1]
+				}
+			}
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 4; i++ {
+			if x < e.q[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i < 4; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			q := e.parabolic(i, sign)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by sign (±1).
+func (e *p2Quantile) parabolic(i int, sign float64) float64 {
+	return e.q[i] + sign/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+sign)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-sign)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola would leave
+// the neighbouring markers' bracket.
+func (e *p2Quantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return e.q[i] + sign*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// value returns the current quantile estimate (exact order statistic while
+// fewer than five observations have arrived).
+func (e *p2Quantile) value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		sorted := make([]float64, e.n)
+		copy(sorted, e.q[:e.n])
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+				sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+			}
+		}
+		idx := int(math.Ceil(e.p*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return e.q[2]
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// testLCG is a minimal deterministic generator for test inputs; the
+// production package must stay free of math/rand (determinism lint), and
+// the tests follow suit so fixtures never drift.
+type testLCG struct{ state uint64 }
+
+func (g *testLCG) next() float64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return float64(g.state>>11) / float64(1<<53)
+}
+
+func TestP2QuantileTracksExactQuantiles(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    float64
+		gen  func(u float64) float64
+	}{
+		{"uniform-p50", 0.5, func(u float64) float64 { return u }},
+		{"uniform-p90", 0.9, func(u float64) float64 { return u }},
+		{"exponential-p90", 0.9, func(u float64) float64 { return -math.Log(1 - u) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := &testLCG{state: 42}
+			var e p2Quantile
+			e.init(tc.p)
+			values := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := tc.gen(g.next())
+				values = append(values, x)
+				e.observe(x)
+			}
+			sort.Float64s(values)
+			exact := values[int(tc.p*float64(len(values)))]
+			got := e.value()
+			if relErr := math.Abs(got-exact) / exact; relErr > 0.05 {
+				t.Fatalf("P² estimate for p=%.2f: got %.4f, exact %.4f (rel err %.3f)",
+					tc.p, got, exact, relErr)
+			}
+		})
+	}
+}
+
+func TestP2QuantileSmallSamplesAreExactOrderStatistics(t *testing.T) {
+	var e p2Quantile
+	e.init(0.5)
+	for _, x := range []float64{5, 1, 3} {
+		e.observe(x)
+	}
+	if got := e.value(); got != 3 {
+		t.Fatalf("median of {5,1,3} = %v, want 3", got)
+	}
+}
+
+func TestCostModelQueueFactor(t *testing.T) {
+	t.Run("no hint below observation floor", func(t *testing.T) {
+		m := NewCostModel()
+		for i := 0; i < costModelMinObservations-1; i++ {
+			m.Observe(0, float64(i))
+		}
+		if f := m.QueueFactor(0); f != 0 {
+			t.Fatalf("QueueFactor with %d observations = %v, want 0", costModelMinObservations-1, f)
+		}
+		if f := m.QueueFactor(7); f != 0 {
+			t.Fatalf("QueueFactor of untouched stage = %v, want 0", f)
+		}
+	})
+
+	t.Run("exponential costs keep the default depth", func(t *testing.T) {
+		m := NewCostModel()
+		g := &testLCG{state: 7}
+		for i := 0; i < 5000; i++ {
+			m.Observe(0, -math.Log(1-g.next()))
+		}
+		f := m.QueueFactor(0)
+		if f < 1.7 || f > 2.3 {
+			t.Fatalf("QueueFactor for exponential ζ = %v, want ≈ 2", f)
+		}
+	})
+
+	t.Run("heavy tail shrinks the queue", func(t *testing.T) {
+		m := NewCostModel()
+		g := &testLCG{state: 7}
+		for i := 0; i < 5000; i++ {
+			// Pareto(α=1.1): infinite-variance territory, the regime the
+			// paper's ζ distributions live in on hard instances.
+			u := g.next()
+			m.Observe(0, math.Pow(1-u, -1/1.1))
+		}
+		f := m.QueueFactor(0)
+		exp := NewCostModel()
+		g2 := &testLCG{state: 7}
+		for i := 0; i < 5000; i++ {
+			exp.Observe(0, -math.Log(1-g2.next()))
+		}
+		if f >= exp.QueueFactor(0) {
+			t.Fatalf("heavy-tail factor %v not below exponential factor %v", f, exp.QueueFactor(0))
+		}
+		if f < 1 {
+			t.Fatalf("QueueFactor %v below the clamp floor 1", f)
+		}
+	})
+
+	t.Run("concentrated costs deepen the queue", func(t *testing.T) {
+		m := NewCostModel()
+		g := &testLCG{state: 11}
+		for i := 0; i < 5000; i++ {
+			m.Observe(0, 100+g.next()) // near-constant ζ
+		}
+		if f := m.QueueFactor(0); f != 3 {
+			t.Fatalf("QueueFactor for near-constant ζ = %v, want the clamp ceiling 3", f)
+		}
+	})
+
+	t.Run("all-zero costs deepen the queue", func(t *testing.T) {
+		m := NewCostModel()
+		for i := 0; i < 100; i++ {
+			m.Observe(0, 0)
+		}
+		if f := m.QueueFactor(0); f != 3 {
+			t.Fatalf("QueueFactor for all-zero ζ = %v, want 3", f)
+		}
+	})
+
+	t.Run("stages are independent", func(t *testing.T) {
+		m := NewCostModel()
+		for i := 0; i < 100; i++ {
+			m.Observe(0, 0)
+			m.Observe(2, float64(i*i*i))
+		}
+		if n := m.Observations(1); n != 0 {
+			t.Fatalf("stage 1 absorbed %d observations, want 0", n)
+		}
+		if f0, f2 := m.QueueFactor(0), m.QueueFactor(2); f0 == f2 {
+			t.Fatalf("independent stages returned identical factors %v", f0)
+		}
+	})
+
+	t.Run("rejects junk", func(t *testing.T) {
+		m := NewCostModel()
+		m.Observe(-1, 1)
+		m.Observe(0, math.NaN())
+		m.Observe(0, math.Inf(1))
+		m.Observe(0, -5)
+		if n := m.Observations(0); n != 0 {
+			t.Fatalf("junk observations were absorbed: %d", n)
+		}
+	})
+}

@@ -90,6 +90,24 @@ type Config struct {
 	// means a private in-process transport with Workers goroutines.  The
 	// Runner does not close the transport; its creator owns its lifetime.
 	Transport cluster.Transport
+	// Steal enables work stealing on dispatching transports: queued
+	// (not yet started) tasks are revoked from a backlogged worker and
+	// reassigned to a drained one.  It also activates the variance-aware
+	// batching of the evaluation cost model, which sizes per-worker queue
+	// depths from the observed ζ distribution.  Stealing moves tasks but
+	// never changes which subproblems are solved or what they cost in
+	// pristine batches, so fixed-seed estimates stay bit-identical.  The
+	// in-process transport ignores it (its workers already pull from one
+	// shared queue).
+	Steal bool
+	// Speculate enables speculative straggler re-dispatch on dispatching
+	// transports: the last unfinished subproblems of a batch are duplicated
+	// onto idle slots, the first result per task wins and the losing copy
+	// is aborted.  Like Steal it activates variance-aware batching, applies
+	// only to pristine batches (a pristine solve is a pure function of the
+	// task, so which copy wins never changes the result content, only its
+	// arrival time), and is ignored by the in-process transport.
+	Speculate bool
 	// Policy configures the budget-aware evaluation engine: incumbent
 	// pruning and staged adaptive sampling of predictive-function
 	// evaluations (see internal/eval).  The zero value disables both and
@@ -148,6 +166,12 @@ type Runner struct {
 	// evaluate through their own NewScope, sharing the transport but not the
 	// sampling state.
 	def *Scope
+	// costModel tracks the observed ζ distribution per sample stage when
+	// adaptive dispatch (Config.Steal/Speculate) is on, turning it into
+	// per-batch queue-depth hints.  Shared by every scope: the model only
+	// influences scheduling, never sample content, so cross-scope sharing
+	// cannot leak state into results.
+	costModel *eval.CostModel
 
 	mu sync.Mutex
 	// confAct accumulates per-variable conflict activity over every
@@ -175,6 +199,14 @@ type Runner struct {
 	// for estimation/search work (Solve-mode subproblems are outside it).
 	samplesPlanned int
 	samplesSkipped int
+	// tasksStolen, speculativeDuplicates and speculationWins accumulate the
+	// dispatch statistics of every batch (see cluster.DispatchStats).  They
+	// count scheduling events, not samples, and therefore live outside the
+	// sample ledger above: a stolen task is still solved exactly once, and a
+	// speculative duplicate's losing copy never enters the results.
+	tasksStolen           int
+	speculativeDuplicates int
+	speculationWins       int
 	// aggStats accumulates the per-subproblem solver statistics.
 	aggStats solver.Stats
 }
@@ -203,6 +235,7 @@ func NewRunner(f *cnf.Formula, cfg Config) *Runner {
 		transport: transport,
 		cfgErr:    cfgErr,
 		confAct:   make([]float64, f.NumVars+1),
+		costModel: eval.NewCostModel(),
 	}
 	r.def = r.NewScope(cfg.Seed)
 	return r
@@ -266,6 +299,35 @@ func (r *Runner) SamplesSkipped() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.samplesSkipped
+}
+
+// TasksStolen returns how many queued tasks the dispatch layer revoked from
+// a backlogged worker and reassigned to another one across every batch of
+// this runner.  A stolen task is still solved exactly once, so the counter
+// is outside the sample ledger.
+func (r *Runner) TasksStolen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tasksStolen
+}
+
+// SpeculativeDuplicates returns how many unfinished tasks the dispatch
+// layer duplicated onto idle slots; SpeculationWins how many of those
+// duplicates delivered the first (and therefore recorded) result.  Losing
+// copies never enter the results, so neither counter touches the sample
+// ledger.
+func (r *Runner) SpeculativeDuplicates() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.speculativeDuplicates
+}
+
+// SpeculationWins returns how many speculated tasks were won by their
+// duplicate copy; see SpeculativeDuplicates.
+func (r *Runner) SpeculationWins() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.speculationWins
 }
 
 // AggregateStats returns the summed solver statistics of every subproblem
@@ -555,6 +617,11 @@ func (r *Runner) runTasksObserved(ctx context.Context, tasks []cluster.Task, sto
 		Retain:     retain,
 		Budget:     r.cfg.SubproblemBudget,
 		CostMetric: r.cfg.CostMetric,
+		Steal:      r.cfg.Steal,
+		// Speculation is restricted to pristine batches: with retained
+		// learned clauses a duplicate copy solves on different solver state,
+		// so which copy wins would change the recorded result content.
+		Speculate: r.cfg.Speculate && !retain,
 	}
 	var observeResult func(cluster.TaskResult)
 	if observe != nil {
@@ -565,25 +632,49 @@ func (r *Runner) runTasksObserved(ctx context.Context, tasks []cluster.Task, sto
 			observe(Progress{Done: done, Total: total, Result: res})
 		}
 	}
-	return r.runBatch(ctx, tasks, opts, observeResult, nil)
+	results, ds, err := r.runBatch(ctx, tasks, opts, observeResult, nil)
+	r.noteDispatch(ds)
+	return results, err
+}
+
+// noteDispatch rolls one batch's dispatch statistics into the runner's
+// cumulative counters.
+func (r *Runner) noteDispatch(ds cluster.DispatchStats) {
+	if ds == (cluster.DispatchStats{}) {
+		return
+	}
+	r.mu.Lock()
+	r.tasksStolen += ds.TasksStolen
+	r.speculativeDuplicates += ds.SpeculativeDuplicates
+	r.speculationWins += ds.SpeculationWins
+	r.mu.Unlock()
 }
 
 // runBatch dispatches one batch through the transport, using the richest
-// interface it offers: batch aborts (abort non-nil) need an
-// AbortableTransport, in-flight observation an ObservedTransport.
-// Transports without in-flight observation deliver all notifications after
-// the batch completes, preserving order; transports without abort support
-// simply run the batch to completion (the evaluation engine then prunes at
-// stage boundaries only).
-func (r *Runner) runBatch(ctx context.Context, tasks []cluster.Task, opts cluster.BatchOptions, observe func(cluster.TaskResult), abort <-chan struct{}) ([]cluster.TaskResult, error) {
+// interface it offers: dispatch statistics (opts.Steal/Speculate) need a
+// DispatchTransport, batch aborts (abort non-nil) an AbortableTransport,
+// in-flight observation an ObservedTransport.  Transports without in-flight
+// observation deliver all notifications after the batch completes,
+// preserving order; transports without abort support simply run the batch
+// to completion (the evaluation engine then prunes at stage boundaries
+// only); transports without a dispatch layer ignore the adaptive options
+// and report zero DispatchStats.
+func (r *Runner) runBatch(ctx context.Context, tasks []cluster.Task, opts cluster.BatchOptions, observe func(cluster.TaskResult), abort <-chan struct{}) ([]cluster.TaskResult, cluster.DispatchStats, error) {
+	if opts.Steal || opts.Speculate {
+		if dt, ok := r.transport.(cluster.DispatchTransport); ok {
+			return dt.RunDispatch(ctx, tasks, opts, observe, abort)
+		}
+	}
 	if abort != nil {
 		if at, ok := r.transport.(cluster.AbortableTransport); ok {
-			return at.RunAbortable(ctx, tasks, opts, observe, abort)
+			results, err := at.RunAbortable(ctx, tasks, opts, observe, abort)
+			return results, cluster.DispatchStats{}, err
 		}
 	}
 	if observe != nil {
 		if ot, ok := r.transport.(cluster.ObservedTransport); ok {
-			return ot.RunObserved(ctx, tasks, opts, observe)
+			results, err := ot.RunObserved(ctx, tasks, opts, observe)
+			return results, cluster.DispatchStats{}, err
 		}
 	}
 	results, err := r.transport.Run(ctx, tasks, opts)
@@ -592,7 +683,7 @@ func (r *Runner) runBatch(ctx context.Context, tasks []cluster.Task, opts cluste
 			observe(res)
 		}
 	}
-	return results, err
+	return results, cluster.DispatchStats{}, err
 }
 
 // SolveReport is the outcome of processing a whole decomposition family

@@ -41,7 +41,12 @@ type Scope struct {
 	subproblemsAborted int
 	samplesPlanned     int
 	samplesSkipped     int
-	aggStats           solver.Stats
+	// Dispatch statistics (scheduling events, outside the sample ledger;
+	// see the Runner counterparts).
+	tasksStolen           int
+	speculativeDuplicates int
+	speculationWins       int
+	aggStats              solver.Stats
 }
 
 // NewScope creates an evaluation scope with its own sample seed over the
@@ -108,6 +113,31 @@ func (sc *Scope) SamplesSkipped() int {
 	return sc.samplesSkipped
 }
 
+// TasksStolen returns how many queued tasks the dispatch layer revoked and
+// reassigned between workers on behalf of this scope's batches.
+func (sc *Scope) TasksStolen() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.tasksStolen
+}
+
+// SpeculativeDuplicates returns how many unfinished tasks of this scope's
+// batches were speculatively duplicated onto idle slots; SpeculationWins how
+// many duplicates won.  See the Runner accessors of the same names.
+func (sc *Scope) SpeculativeDuplicates() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.speculativeDuplicates
+}
+
+// SpeculationWins returns how many speculated tasks were won by their
+// duplicate copy; see SpeculativeDuplicates.
+func (sc *Scope) SpeculationWins() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.speculationWins
+}
+
 // AggregateStats returns the summed solver statistics of the scope's solved
 // subproblems.
 func (sc *Scope) AggregateStats() solver.Stats {
@@ -172,6 +202,20 @@ func (sc *Scope) noteSkipped(n int) {
 	sc.r.mu.Lock()
 	sc.r.samplesSkipped += n
 	sc.r.mu.Unlock()
+}
+
+// noteDispatch rolls one batch's dispatch statistics into the scope's
+// counters and the runner roll-up.
+func (sc *Scope) noteDispatch(ds cluster.DispatchStats) {
+	if ds == (cluster.DispatchStats{}) {
+		return
+	}
+	sc.mu.Lock()
+	sc.tasksStolen += ds.TasksStolen
+	sc.speculativeDuplicates += ds.SpeculativeDuplicates
+	sc.speculationWins += ds.SpeculationWins
+	sc.mu.Unlock()
+	sc.r.noteDispatch(ds)
 }
 
 // notePruned counts one incumbent-pruned evaluation in the scope and the
@@ -370,8 +414,15 @@ func (sc *Scope) evaluatePointAt(ctx context.Context, p decomp.Point, pol eval.P
 	)
 	sc.notePlanned(n)
 	defer func() { sc.noteSkipped(n - collected) }()
+	// Adaptive dispatch: with stealing or speculation on, each stage's batch
+	// carries a queue-depth hint derived from the ζ costs observed on the
+	// same stage index of earlier evaluations, and its completed costs feed
+	// the model in turn.  The hint shapes scheduling only — the sample, the
+	// costs and the stage plan are untouched — so fixed-seed estimates stay
+	// bit-identical with the model on or off.
+	adaptive := r.cfg.Steal || r.cfg.Speculate
 	next := 0
-	for _, end := range eval.StagePlan(n, pol.Stages) {
+	for si, end := range eval.StagePlan(n, pol.Stages) {
 		begin := next
 		next = end
 		refreshBound()
@@ -385,6 +436,11 @@ func (sc *Scope) evaluatePointAt(ctx context.Context, p decomp.Point, pol eval.P
 		opts := cluster.BatchOptions{
 			Budget:     r.cfg.SubproblemBudget,
 			CostMetric: r.cfg.CostMetric,
+		}
+		if adaptive {
+			opts.Steal = r.cfg.Steal
+			opts.Speculate = r.cfg.Speculate
+			opts.QueueFactor = r.costModel.QueueFactor(si)
 		}
 		if prune {
 			// Per-stage budget: no single task may cost more than what is
@@ -400,7 +456,8 @@ func (sc *Scope) evaluatePointAt(ctx context.Context, p decomp.Point, pol eval.P
 		if prune {
 			abort = abortCh
 		}
-		results, err := r.runBatch(ctx, sub, opts, stageObserver(begin), abort)
+		results, ds, err := r.runBatch(ctx, sub, opts, stageObserver(begin), abort)
+		sc.noteDispatch(ds)
 		if err != nil && !cluster.IsInterruption(err) {
 			return nil, err
 		}
@@ -421,6 +478,9 @@ func (sc *Scope) evaluatePointAt(ctx context.Context, p decomp.Point, pol eval.P
 			costs = append(costs, res.Cost)
 			if res.Status == solver.Sat {
 				satCount++
+			}
+			if adaptive {
+				r.costModel.Observe(si, res.Cost)
 			}
 		}
 		sc.absorb(results)

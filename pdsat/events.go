@@ -7,7 +7,7 @@ import (
 // Event is a typed progress notification from a running Job.  The concrete
 // types are SampleProgress, SearchVisit, EvalPruned, CacheHit,
 // NeighborhoodDone, FleetMemberDone, IncumbentImproved, WorkerJoined,
-// WorkerLost and Done.
+// WorkerLost, TaskStolen, SpeculationWon and Done.
 //
 // Every job's event stream is ordered (events arrive in the order the job
 // produced them) and terminates with exactly one Done event — also when the
@@ -19,8 +19,9 @@ type Event interface {
 	// EventKind returns the stable wire name of the event type
 	// ("sample_progress", "search_visit", "eval_pruned", "cache_hit",
 	// "neighborhood_done", "fleet_member_done", "incumbent_improved",
-	// "worker_joined", "worker_lost", "done"); the HTTP server uses it as
-	// the SSE event name and NDJSON discriminator.
+	// "worker_joined", "worker_lost", "task_stolen", "speculation_won",
+	// "done"); the HTTP server uses it as the SSE event name and NDJSON
+	// discriminator.
 	EventKind() string
 }
 
@@ -254,6 +255,41 @@ type WorkerLost struct {
 
 // EventKind implements Event.
 func (WorkerLost) EventKind() string { return "worker_lost" }
+
+// TaskStolen reports that the cluster leader revoked queued (not yet
+// started) subproblems from a backlogged worker and reassigned them to a
+// drained one (see Session.PublishTaskStolen); emitted only when work
+// stealing is enabled.  Stolen subproblems are still solved exactly once,
+// so the event signals rebalancing, not rework.
+type TaskStolen struct {
+	// Job is the receiving job's ID.
+	Job string `json:"job"`
+	// Worker is the backlogged worker the tasks were revoked from; Tasks
+	// how many were moved.
+	Worker string `json:"worker"`
+	Tasks  int    `json:"tasks"`
+}
+
+// EventKind implements Event.
+func (TaskStolen) EventKind() string { return "task_stolen" }
+
+// SpeculationWon reports that a speculatively duplicated subproblem was won
+// by its duplicate copy: the copy dispatched onto an idle slot finished
+// before the original, whose solve was aborted (see
+// Session.PublishSpeculationWon).  Emitted only when speculative straggler
+// re-dispatch is enabled.
+type SpeculationWon struct {
+	// Job is the receiving job's ID.
+	Job string `json:"job"`
+	// Worker is the worker whose duplicate copy delivered the winning
+	// result; Tasks how many speculated subproblems it won (currently
+	// always 1 per event).
+	Worker string `json:"worker"`
+	Tasks  int    `json:"tasks"`
+}
+
+// EventKind implements Event.
+func (SpeculationWon) EventKind() string { return "speculation_won" }
 
 // Done is the final event of every job's stream: the job finished, failed
 // or was cancelled.  Exactly one Done is emitted per job and nothing

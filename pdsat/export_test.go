@@ -1,5 +1,7 @@
 package pdsat
 
+import "time"
+
 // SetMaxSampleEventsForTest overrides the per-batch SampleProgress budget
 // so tests can exercise the decimation on small, fast batches.  It returns
 // a restore function.
@@ -7,4 +9,13 @@ func SetMaxSampleEventsForTest(n int) (restore func()) {
 	old := maxSampleEvents
 	maxSampleEvents = n
 	return func() { maxSampleEvents = old }
+}
+
+// SetSSEKeepAliveIntervalForTest shortens the SSE keep-alive interval so
+// tests can observe idle-stream comments without waiting half a minute.  It
+// returns a restore function.
+func SetSSEKeepAliveIntervalForTest(d time.Duration) (restore func()) {
+	old := sseKeepAliveInterval
+	sseKeepAliveInterval = d
+	return func() { sseKeepAliveInterval = old }
 }

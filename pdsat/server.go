@@ -205,26 +205,60 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	for e := range j.Subscribe(r.Context()) {
-		if member >= 0 {
-			if me, ok := e.(MemberEvent); ok && me.EventMember() != member {
-				continue
+	events := j.Subscribe(r.Context())
+	// SSE streams emit a comment line whenever no event has been written
+	// for a keep-alive interval, so intermediaries with idle timeouts do
+	// not sever a subscriber waiting on a long solve.  NDJSON streams get
+	// none (a bare comment is not a valid NDJSON record).
+	var tick <-chan time.Time
+	var keepAlive *time.Ticker
+	if sse {
+		keepAlive = time.NewTicker(sseKeepAliveInterval)
+		defer keepAlive.Stop()
+		tick = keepAlive.C
+	}
+	for {
+		var werr error
+		select {
+		case e, ok := <-events:
+			if !ok {
+				return
 			}
+			if member >= 0 {
+				if me, ok := e.(MemberEvent); ok && me.EventMember() != member {
+					continue
+				}
+			}
+			payload, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if sse {
+				_, werr = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.EventKind(), payload)
+			} else {
+				_, werr = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", e.EventKind(), payload)
+			}
+			if keepAlive != nil {
+				keepAlive.Reset(sseKeepAliveInterval)
+			}
+		case <-tick:
+			_, werr = fmt.Fprint(w, ": keep-alive\n\n")
 		}
-		payload, err := json.Marshal(e)
-		if err != nil {
+		if werr != nil {
+			// The client is gone (connection reset or closed); keep-alives
+			// and further events would all fail the same way, so stop
+			// streaming instead of spinning through the rest of the log.
 			return
-		}
-		if sse {
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.EventKind(), payload)
-		} else {
-			fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", e.EventKind(), payload)
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 }
+
+// sseKeepAliveInterval is the idle span after which an SSE event stream
+// emits a `: keep-alive` comment.  A variable only so tests can shorten it.
+var sseKeepAliveInterval = 30 * time.Second
 
 // handleStats reports the session's evaluation-engine counters — total and
 // pruned evaluations, solved and aborted subproblems, the F-cache's hit/miss

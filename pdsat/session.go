@@ -181,6 +181,26 @@ func (s *Session) PublishWorkerLost(worker string, requeued int) {
 	}
 }
 
+// PublishTaskStolen broadcasts a TaskStolen event to every running job's
+// stream; worker is the backlogged worker the tasks were revoked from.
+// Wire it to the cluster leader's OnTaskStolen hook (cmd/pdsat does when
+// -steal is on).
+func (s *Session) PublishTaskStolen(worker string, tasks int) {
+	for _, j := range s.runningJobs() {
+		j.emit(TaskStolen{Job: j.id, Worker: worker, Tasks: tasks})
+	}
+}
+
+// PublishSpeculationWon broadcasts a SpeculationWon event to every running
+// job's stream; worker is the worker whose duplicate copy won.  Wire it to
+// the cluster leader's OnSpeculationWon hook (cmd/pdsat does when
+// -speculate is on).
+func (s *Session) PublishSpeculationWon(worker string, tasks int) {
+	for _, j := range s.runningJobs() {
+		j.emit(SpeculationWon{Job: j.id, Worker: worker, Tasks: tasks})
+	}
+}
+
 func (s *Session) runningJobs() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -362,6 +382,18 @@ type SessionStats struct {
 	// but inside the solved/aborted counters).
 	SamplesPlanned int `json:"samples_planned"`
 	SamplesSkipped int `json:"samples_skipped"`
+	// TasksStolen counts queued subproblems the dispatch layer revoked from
+	// a backlogged worker and reassigned to a drained one;
+	// SpeculativeDuplicates the unfinished subproblems it duplicated onto
+	// idle slots, and SpeculationWins how many duplicates delivered the
+	// first (recorded) result.  All three count scheduling events outside
+	// the sample ledger: a stolen task is still solved once, and a losing
+	// duplicate's result is discarded before it reaches the ledger.  They
+	// stay zero unless the session's runner enables Steal/Speculate on a
+	// dispatching (network) transport.
+	TasksStolen           int `json:"tasks_stolen"`
+	SpeculativeDuplicates int `json:"speculative_duplicates"`
+	SpeculationWins       int `json:"speculation_wins"`
 	// Cache is the cross-search F-cache's hit/miss/size counters.
 	Cache eval.CacheStats `json:"cache"`
 	// Solver sums the per-subproblem CDCL statistics over every subproblem
@@ -373,14 +405,17 @@ type SessionStats struct {
 // Stats returns a snapshot of the session's evaluation-engine counters.
 func (s *Session) Stats() SessionStats {
 	return SessionStats{
-		Evaluations:        s.runner.Evaluations(),
-		PrunedEvaluations:  s.runner.PrunedEvaluations(),
-		SubproblemsSolved:  s.runner.SubproblemsSolved(),
-		SubproblemsAborted: s.runner.SubproblemsAborted(),
-		SamplesPlanned:     s.runner.SamplesPlanned(),
-		SamplesSkipped:     s.runner.SamplesSkipped(),
-		Cache:              s.fcache.Stats(),
-		Solver:             s.runner.AggregateStats(),
+		Evaluations:           s.runner.Evaluations(),
+		PrunedEvaluations:     s.runner.PrunedEvaluations(),
+		SubproblemsSolved:     s.runner.SubproblemsSolved(),
+		SubproblemsAborted:    s.runner.SubproblemsAborted(),
+		SamplesPlanned:        s.runner.SamplesPlanned(),
+		SamplesSkipped:        s.runner.SamplesSkipped(),
+		TasksStolen:           s.runner.TasksStolen(),
+		SpeculativeDuplicates: s.runner.SpeculativeDuplicates(),
+		SpeculationWins:       s.runner.SpeculationWins(),
+		Cache:                 s.fcache.Stats(),
+		Solver:                s.runner.AggregateStats(),
 	}
 }
 
